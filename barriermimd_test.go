@@ -1,0 +1,162 @@
+package barriermimd
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScheduleSourceEndToEnd(t *testing.T) {
+	src := `
+		b = i + a
+		h = f & d
+		e = h - f
+		g = c + e
+		i = (f + j) - i
+		a = a + b
+	`
+	s, err := ScheduleSource(src, DefaultOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Simulate(s, SimConfig{Policy: RandomTimes, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CheckDependences(); err != nil {
+		t.Fatal(err)
+	}
+	if r.FinishTime <= 0 {
+		t.Error("no execution happened")
+	}
+}
+
+func TestGenerateCompileScheduleSimulate(t *testing.T) {
+	p, err := Generate(GenConfig{Statements: 30, Variables: 8}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := BuildDAG(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ScheduleGraph(g, DefaultOptions(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := ScheduleVLIW(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, mx, err := s.StaticSpan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Makespan <= 0 || mx <= 0 {
+		t.Error("degenerate spans")
+	}
+}
+
+func TestExperimentsRegistry(t *testing.T) {
+	names := Experiments()
+	if len(names) == 0 {
+		t.Fatal("no experiments registered")
+	}
+	out, err := RunExperiment("table1", ExpConfig{Runs: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Table 1") {
+		t.Errorf("unexpected render:\n%s", out)
+	}
+	if _, err := RunExperiment("bogus", ExpConfig{}); err == nil {
+		t.Error("accepted unknown experiment")
+	}
+}
+
+func TestFig1BlockAccessible(t *testing.T) {
+	b := Fig1Block()
+	if b.Len() != 19 {
+		t.Errorf("Fig1Block has %d tuples, want 19", b.Len())
+	}
+	g, err := BuildDAG(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.TotalImpliedSynchronizations() == 0 {
+		t.Error("no implied syncs in Fig 1")
+	}
+}
+
+func TestDefaultTimingsExposed(t *testing.T) {
+	tm := DefaultTimings()
+	if err := tm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseError(t *testing.T) {
+	if _, err := Parse("a = "); err == nil {
+		t.Error("Parse accepted invalid source")
+	}
+	if _, err := ScheduleSource("a = ", DefaultOptions(2)); err == nil {
+		t.Error("ScheduleSource accepted invalid source")
+	}
+}
+
+func TestControlFlowFacade(t *testing.T) {
+	prog, err := ParseCF("s = 0\ni = 4\nwhile i {\n s = s + i\n i = i - 1\n}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, err := CompileCF(prog, DefaultOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cf.Run(nil, CFRunConfig{Policy: RandomTimes, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Memory["s"] != 10 {
+		t.Errorf("s = %d, want 10", res.Memory["s"])
+	}
+}
+
+func TestGenerateCFFacade(t *testing.T) {
+	prog, err := GenerateCF(CFGenConfig{Statements: 20, Variables: 5}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, err := CompileCF(prog, DefaultOptions(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cf.Run(nil, CFRunConfig{Policy: RandomTimes}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMIMDPlanFacade(t *testing.T) {
+	s, err := ScheduleSource("x = a * b\ny = x + c\nz = a - c", DefaultOptions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := NewMIMDPlan(s, false)
+	red := NewMIMDPlan(s, true)
+	if len(red.Syncs) > len(full.Syncs) {
+		t.Error("reduction added syncs")
+	}
+	r, err := full.Simulate(MIMDConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CheckDependences(); err != nil {
+		t.Fatal(err)
+	}
+}

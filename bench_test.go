@@ -1,0 +1,235 @@
+package barriermimd
+
+// One benchmark per reproduced table/figure (see DESIGN.md §4), plus
+// micro-benchmarks for the scheduler's hot paths. Each table/figure bench
+// exercises the exact pipeline its experiment uses, at a small population
+// per iteration; run cmd/bmexp for paper-scale populations.
+
+import (
+	"testing"
+
+	"barriermimd/internal/cfg"
+	"barriermimd/internal/core"
+	"barriermimd/internal/dag"
+	"barriermimd/internal/exp"
+	"barriermimd/internal/ir"
+	"barriermimd/internal/lang"
+	"barriermimd/internal/machine"
+	"barriermimd/internal/mimd"
+	"barriermimd/internal/opt"
+	"barriermimd/internal/synth"
+	"barriermimd/internal/vliw"
+)
+
+func benchGraph(b *testing.B, stmts, vars int, seed int64) *dag.Graph {
+	b.Helper()
+	prog, err := synth.Generate(synth.Config{Statements: stmts, Variables: vars}, seed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	naive, err := lang.Compile(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	optb, _, err := opt.Optimize(naive)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := dag.Build(optb, ir.DefaultTimings())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func runExp(b *testing.B, name string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Run(name, exp.Config{Runs: 3, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1Generator measures the synthetic benchmark generator that
+// realizes the Table 1 operator mix.
+func BenchmarkTable1Generator(b *testing.B) { runExp(b, "table1") }
+
+// BenchmarkFig1Example measures the fixed example pipeline of Figures 1/2:
+// DAG construction, heights and finish times on the published block.
+func BenchmarkFig1Example(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g, err := dag.Build(ir.Fig1Block(), ir.DefaultTimings())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := g.Heights(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := g.FinishTimes(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig14Population measures the figure 14 population pipeline
+// (in-band benchmark generation plus scheduling on 8 processors).
+func BenchmarkFig14Population(b *testing.B) { runExp(b, "fig14") }
+
+// BenchmarkFig15Statements measures the statements sweep of figure 15.
+func BenchmarkFig15Statements(b *testing.B) { runExp(b, "fig15") }
+
+// BenchmarkFig16Variables measures the variables sweep of figure 16.
+func BenchmarkFig16Variables(b *testing.B) { runExp(b, "fig16") }
+
+// BenchmarkFig17Processors measures the processors sweep of figure 17.
+func BenchmarkFig17Processors(b *testing.B) { runExp(b, "fig17") }
+
+// BenchmarkFig18VLIW measures the VLIW-vs-barrier comparison of figure 18.
+func BenchmarkFig18VLIW(b *testing.B) { runExp(b, "fig18") }
+
+// BenchmarkMergeAblation measures the section 4.4.3 merging experiment.
+func BenchmarkMergeAblation(b *testing.B) { runExp(b, "merge") }
+
+// BenchmarkHeuristicAblations measures the section 5.4 variants.
+func BenchmarkHeuristicAblations(b *testing.B) { runExp(b, "heuristics") }
+
+// BenchmarkOptimalInsertion measures the section 4.4.2 comparison.
+func BenchmarkOptimalInsertion(b *testing.B) { runExp(b, "optimal") }
+
+// --- hot-path micro-benchmarks ---
+
+// BenchmarkPipelineCompile measures source-to-optimized-DAG lowering.
+func BenchmarkPipelineCompile(b *testing.B) {
+	prog, err := synth.Generate(synth.Config{Statements: 60, Variables: 10}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		naive, err := lang.Compile(prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		optb, _, err := opt.Optimize(naive)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dag.Build(optb, ir.DefaultTimings()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScheduleSBM measures barrier MIMD scheduling of a 60-statement
+// block on 8 processors (conservative insertion, merging).
+func BenchmarkScheduleSBM(b *testing.B) {
+	g := benchGraph(b, 60, 10, 1)
+	opts := core.DefaultOptions(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.ScheduleDAG(g, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScheduleOptimal measures scheduling with the section 4.4.2
+// optimal insertion algorithm.
+func BenchmarkScheduleOptimal(b *testing.B) {
+	g := benchGraph(b, 60, 10, 1)
+	opts := core.DefaultOptions(8)
+	opts.Insertion = core.Optimal
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.ScheduleDAG(g, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateSBM measures one randomized discrete-event execution.
+func BenchmarkSimulateSBM(b *testing.B) {
+	g := benchGraph(b, 60, 10, 1)
+	s, err := core.ScheduleDAG(g, core.DefaultOptions(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := machine.Run(s, machine.Config{Policy: machine.RandomTimes, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := r.CheckDependences(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVLIWSchedule measures the section 6 baseline scheduler.
+func BenchmarkVLIWSchedule(b *testing.B) {
+	g := benchGraph(b, 60, 10, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vliw.Schedule(g, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHeights measures node labeling (section 4.1).
+func BenchmarkHeights(b *testing.B) {
+	g := benchGraph(b, 100, 10, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Heights(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMIMDComparison measures the conventional-MIMD extension
+// experiment (directed syncs + transitive reduction vs barriers).
+func BenchmarkMIMDComparison(b *testing.B) { runExp(b, "mimd") }
+
+// BenchmarkBarrierCost measures the barrier-latency sensitivity sweep.
+func BenchmarkBarrierCost(b *testing.B) { runExp(b, "barriercost") }
+
+// BenchmarkControlFlowPipeline measures the control-flow extension: lower,
+// schedule per block, and execute a loop-and-branch program end to end.
+func BenchmarkControlFlowPipeline(b *testing.B) {
+	prog, err := synth.GenerateCF(synth.CFConfig{Statements: 30, Variables: 8}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cf, err := cfg.Lower(prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := cf.Compile(core.DefaultOptions(4), ir.DefaultTimings()); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cf.Run(nil, cfg.RunConfig{Policy: machine.RandomTimes, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTransitiveReduction measures Shaffer-style sync reduction.
+func BenchmarkTransitiveReduction(b *testing.B) {
+	g := benchGraph(b, 80, 10, 1)
+	s, err := core.ScheduleDAG(g, core.DefaultOptions(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mimd.NewPlan(s, true)
+	}
+}
+
+// BenchmarkStudy measures the section 5 whole-study grid sweep.
+func BenchmarkStudy(b *testing.B) { runExp(b, "study") }

@@ -1,0 +1,21 @@
+// Command bmexp regenerates the paper's tables and figures from scratch:
+// Table 1, Figures 14-18, the section 4.4.3 merging statistic, the section
+// 5.4 heuristic ablations, and the extension experiments (conventional
+// MIMD comparison, barrier cost sensitivity).
+//
+// Usage:
+//
+//	bmexp -experiment fig15            # one experiment
+//	bmexp -experiment all -runs 100    # everything, paper-scale populations
+//	bmexp -list
+package main
+
+import (
+	"os"
+
+	"barriermimd/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Exp(os.Args[1:], os.Stdout, os.Stderr))
+}

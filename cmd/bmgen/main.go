@@ -1,0 +1,18 @@
+// Command bmgen emits a synthetic benchmark program (section 2.2 of the
+// paper): a random basic block of assignment statements whose operator mix
+// follows Table 1, or with -cf a random control-flow program.
+//
+// Usage:
+//
+//	bmgen -stmts 60 -vars 10 -seed 1 [-consts 8] [-tuples] [-cf]
+package main
+
+import (
+	"os"
+
+	"barriermimd/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Gen(os.Args[1:], os.Stdout, os.Stderr))
+}

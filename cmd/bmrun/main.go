@@ -1,0 +1,23 @@
+// Command bmrun compiles and executes a program in the extended language
+// (assignments plus if/else and while) on a simulated barrier MIMD. The
+// control-flow graph is printed, then the program runs block-by-block with
+// a full barrier between blocks, and the final memory and dynamic trace
+// are reported.
+//
+// Usage:
+//
+//	bmrun [-procs 4] [-seed 0] [-cost 0] [-set a=3 -set b=4] [file.bb]
+//
+// Reads the program from the named file or stdin. Initial variable values
+// come from repeated -set flags.
+package main
+
+import (
+	"os"
+
+	"barriermimd/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.RunCF(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}

@@ -1,0 +1,23 @@
+// Command bmsched compiles a basic-block program and schedules it for a
+// barrier MIMD, printing the Figure 1 tuple listing, the per-processor
+// schedule with barriers, the barrier dag, and the section 3.1
+// synchronization metrics.
+//
+// Usage:
+//
+//	bmsched [-procs 8] [-machine sbm|dbm] [-insertion conservative|optimal]
+//	        [-seed 0] [-gantt] [file.bb | -example]
+//
+// Reads the program from the named file, or stdin, or uses the paper's
+// Figure 1 example with -example.
+package main
+
+import (
+	"os"
+
+	"barriermimd/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Sched(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}

@@ -1,0 +1,21 @@
+// Command bmsim schedules a program and executes it on simulated barrier
+// MIMD hardware with randomized instruction timings, verifying that every
+// producer/consumer dependence is satisfied at run time.
+//
+// Usage:
+//
+//	bmsim [-procs 8] [-machine sbm|dbm] [-runs 20] [-seed 0] [-gantt]
+//	      [-stmts 40 -vars 10 | file.bb]
+//
+// Without a file argument, a synthetic benchmark is generated.
+package main
+
+import (
+	"os"
+
+	"barriermimd/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Sim(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}

@@ -1,0 +1,84 @@
+// MIMD comparison: the paper's conclusion proposes applying barrier
+// scheduling techniques "to remove some synchronizations in conventional
+// MIMD architectures". This example runs the same instruction placement on
+// three machines: a conventional MIMD with one directed synchronization
+// per cross-processor dependence, the same machine after Shaffer-style
+// transitive reduction, and the barrier MIMD — showing how timing-based
+// static scheduling removes far more runtime synchronization than
+// graph-structure-based reduction alone (the paper's section 3 argument).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"barriermimd"
+)
+
+func main() {
+	const runs = 15
+	var naiveSyncs, reducedSyncs, barriers float64
+	var naiveTime, reducedTime, barrierTime float64
+
+	for seed := int64(0); seed < runs; seed++ {
+		prog, err := barriermimd.Generate(barriermimd.GenConfig{
+			Statements: 60,
+			Variables:  10,
+		}, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		block, err := barriermimd.Compile(prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g, err := barriermimd.BuildDAG(block)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts := barriermimd.DefaultOptions(8)
+		opts.Seed = seed
+		sched, err := barriermimd.ScheduleGraph(g, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		naive := barriermimd.NewMIMDPlan(sched, false)
+		reduced := barriermimd.NewMIMDPlan(sched, true)
+		naiveSyncs += float64(len(naive.Syncs))
+		reducedSyncs += float64(len(reduced.Syncs))
+		barriers += float64(sched.NumBarriers())
+
+		nr, err := naive.Simulate(barriermimd.MIMDConfig{Seed: seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rr, err := reduced.Simulate(barriermimd.MIMDConfig{Seed: seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		br, err := barriermimd.Simulate(sched, barriermimd.SimConfig{
+			Policy: barriermimd.RandomTimes, Seed: seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		naiveTime += float64(nr.FinishTime)
+		reducedTime += float64(rr.FinishTime)
+		barrierTime += float64(br.FinishTime)
+	}
+
+	fmt.Println("Same instruction placement, three synchronization mechanisms")
+	fmt.Println("(60 statements, 10 variables, 8 processors, averages of", runs, "benchmarks)")
+	fmt.Println()
+	fmt.Printf("%-38s %10s %12s\n", "machine", "sync ops", "completion")
+	fmt.Printf("%-38s %10.1f %12.1f\n", "conventional MIMD (every cross edge)", naiveSyncs/runs, naiveTime/runs)
+	fmt.Printf("%-38s %10.1f %12.1f\n", "conventional + transitive reduction", reducedSyncs/runs, reducedTime/runs)
+	fmt.Printf("%-38s %10.1f %12.1f\n", "barrier MIMD (hardware barriers)", barriers/runs, barrierTime/runs)
+	fmt.Println()
+	fmt.Printf("Structure-only reduction removes %.0f%% of directed syncs;\n",
+		100*(1-reducedSyncs/naiveSyncs))
+	fmt.Printf("timing-based barrier scheduling removes %.0f%% — the paper's point that\n",
+		100*(1-barriers/naiveSyncs))
+	fmt.Println("min/max execution-time tracking subsumes transitive-reduction techniques.")
+}

@@ -1,0 +1,51 @@
+// Quickstart: compile a basic block, schedule it for a 4-processor static
+// barrier MIMD, inspect the synchronization metrics, and execute it on the
+// simulated hardware.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"barriermimd"
+)
+
+func main() {
+	src := `
+		b = i + a
+		h = f & d
+		e = h - f
+		g = c + e
+		i = (f + j) - i
+		a = a + b
+	`
+
+	// One call runs parse → compile → optimize → DAG → schedule.
+	sched, err := barriermimd.ScheduleSource(src, barriermimd.DefaultOptions(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Per-processor schedule (|bN| marks a barrier wait):")
+	fmt.Print(sched.Render())
+
+	m := sched.Metrics
+	fmt.Printf("\nOf %d producer/consumer synchronizations:\n", m.TotalImpliedSyncs)
+	fmt.Printf("  %5.1f%% were serialized (consumer placed after producer)\n", 100*m.SerializedFraction())
+	fmt.Printf("  %5.1f%% were scheduled away statically by timing analysis\n", 100*m.StaticFraction())
+	fmt.Printf("  %5.1f%% required a hardware barrier\n", 100*m.BarrierFraction())
+
+	// Execute on the simulated SBM with random instruction timings and
+	// verify every dependence was honored.
+	run, err := barriermimd.Simulate(sched, barriermimd.SimConfig{
+		Policy: barriermimd.RandomTimes,
+		Seed:   42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := run.CheckDependences(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nSimulated execution finished at t=%d with every dependence satisfied.\n", run.FinishTime)
+}

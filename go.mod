@@ -1,0 +1,3 @@
+module barriermimd
+
+go 1.22

@@ -1,0 +1,367 @@
+// Package bdag implements the barrier dag (B, <_b) of section 3.1 of the
+// paper: a partially ordered set of barriers drawn as a directed acyclic
+// graph whose edges carry the minimum and maximum execution times of the
+// code regions between barriers.
+//
+// Edge weights follow the Figure 13 rule: because no processor proceeds
+// past a barrier until all participants arrive, the minimum time of edge
+// (u,v) is the maximum over participating processors of each processor's
+// minimum region time, and likewise for the maximum.
+//
+// The graph is cheap to construct, so the scheduler rebuilds it from the
+// schedule's per-processor timelines after every barrier insertion or merge
+// rather than mutating it incrementally.
+package bdag
+
+import (
+	"fmt"
+	"sort"
+
+	"barriermimd/internal/ir"
+)
+
+// Initial is the index of the initial barrier, which spans all processors
+// and precedes all other barriers (section 3.1).
+const Initial = 0
+
+// Unreachable is returned by longest-path queries when no path exists.
+const Unreachable = -1
+
+// Edge identifies a directed barrier-dag edge.
+type Edge struct {
+	From, To int
+}
+
+// Graph is a barrier dag. Create with New, add barriers with AddBarrier,
+// and contribute per-processor code-region times with AddRegion.
+type Graph struct {
+	parts [][]int             // participants per barrier, sorted
+	out   []map[int]ir.Timing // aggregated edge weights
+	in    []map[int]struct{}  // reverse adjacency
+}
+
+// New returns a graph containing only the initial barrier across the given
+// processors.
+func New(initialParticipants []int) *Graph {
+	g := &Graph{}
+	g.AddBarrier(initialParticipants)
+	return g
+}
+
+// Len returns the number of barriers.
+func (g *Graph) Len() int { return len(g.parts) }
+
+// AddBarrier appends a barrier with the given participating processors and
+// returns its index.
+func (g *Graph) AddBarrier(participants []int) int {
+	p := append([]int(nil), participants...)
+	sort.Ints(p)
+	g.parts = append(g.parts, p)
+	g.out = append(g.out, make(map[int]ir.Timing))
+	g.in = append(g.in, make(map[int]struct{}))
+	return len(g.parts) - 1
+}
+
+// Participants returns the sorted processor set of barrier b. Shared; do
+// not modify.
+func (g *Graph) Participants(b int) []int { return g.parts[b] }
+
+// AddRegion records that some processor executes a code region taking t
+// between barriers u and v. Contributions aggregate per the Figure 13
+// rule: edge min/max are the maxima of the contributed mins/maxes.
+func (g *Graph) AddRegion(u, v int, t ir.Timing) {
+	if u == v {
+		panic(fmt.Sprintf("bdag: self edge on barrier %d", u))
+	}
+	cur, ok := g.out[u][v]
+	if !ok {
+		g.out[u][v] = t
+		g.in[v][u] = struct{}{}
+		return
+	}
+	if t.Min > cur.Min {
+		cur.Min = t.Min
+	}
+	if t.Max > cur.Max {
+		cur.Max = t.Max
+	}
+	g.out[u][v] = cur
+}
+
+// EdgeTiming returns the aggregated timing of edge (u,v) and whether the
+// edge exists.
+func (g *Graph) EdgeTiming(u, v int) (ir.Timing, bool) {
+	t, ok := g.out[u][v]
+	return t, ok
+}
+
+// Succs returns the successors of u in ascending order.
+func (g *Graph) Succs(u int) []int {
+	out := make([]int, 0, len(g.out[u]))
+	for v := range g.out[u] {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Preds returns the predecessors of v in ascending order.
+func (g *Graph) Preds(v int) []int {
+	out := make([]int, 0, len(g.in[v]))
+	for u := range g.in[v] {
+		out = append(out, u)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Edges returns all edges sorted by (From, To).
+func (g *Graph) Edges() []Edge {
+	var out []Edge
+	for u := range g.out {
+		for v := range g.out[u] {
+			out = append(out, Edge{u, v})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].From != out[b].From {
+			return out[a].From < out[b].From
+		}
+		return out[a].To < out[b].To
+	})
+	return out
+}
+
+// HasPath reports whether v is reachable from u (u == v counts).
+func (g *Graph) HasPath(u, v int) bool {
+	if u == v {
+		return true
+	}
+	seen := make([]bool, g.Len())
+	stack := []int{u}
+	seen[u] = true
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for s := range g.out[x] {
+			if s == v {
+				return true
+			}
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+// Ordered reports whether barriers a and b are ordered by <_b (a path
+// exists in either direction). Unordered barriers with overlapping fire
+// windows are merge candidates in an SBM schedule (section 4.4.3).
+func (g *Graph) Ordered(a, b int) bool {
+	return g.HasPath(a, b) || g.HasPath(b, a)
+}
+
+// Topo returns a topological order (initial barrier first), or an error if
+// the graph is cyclic (which indicates a scheduler bug).
+func (g *Graph) Topo() ([]int, error) {
+	n := g.Len()
+	indeg := make([]int, n)
+	for v := range g.in {
+		indeg[v] = len(g.in[v])
+	}
+	var ready []int
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(ready) > 0 {
+		sort.Ints(ready)
+		v := ready[0]
+		ready = ready[1:]
+		order = append(order, v)
+		for _, s := range g.Succs(v) {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("bdag: cycle detected (%d of %d barriers ordered)", len(order), n)
+	}
+	return order, nil
+}
+
+// weight selects the min or max component of an edge.
+func weight(t ir.Timing, useMax bool) int {
+	if useMax {
+		return t.Max
+	}
+	return t.Min
+}
+
+// LongestFrom computes, for every barrier, the longest-path distance from u
+// using maximum (useMax) or minimum edge weights. Unreachable barriers get
+// Unreachable. dist[u] == 0.
+func (g *Graph) LongestFrom(u int, useMax bool) ([]int, error) {
+	order, err := g.Topo()
+	if err != nil {
+		return nil, err
+	}
+	dist := make([]int, g.Len())
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[u] = 0
+	for _, x := range order {
+		if dist[x] == Unreachable {
+			continue
+		}
+		for v, t := range g.out[x] {
+			if d := dist[x] + weight(t, useMax); d > dist[v] {
+				dist[v] = d
+			}
+		}
+	}
+	return dist, nil
+}
+
+// FireWindows returns, for every barrier, the earliest and latest firing
+// time relative to the initial barrier: the longest path from the initial
+// barrier under minimum and maximum edge weights respectively. A barrier's
+// actual firing time in any execution lies within its window.
+func (g *Graph) FireWindows() (min, max []int, err error) {
+	min, err = g.LongestFrom(Initial, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	max, err = g.LongestFrom(Initial, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	return min, max, nil
+}
+
+// Dominators computes the immediate dominator of every barrier with respect
+// to the initial barrier, using the iterative dataflow algorithm. The
+// initial barrier's idom is itself. Barriers unreachable from the initial
+// barrier get idom -1 (they cannot occur in a valid schedule).
+func (g *Graph) Dominators() ([]int, error) {
+	order, err := g.Topo()
+	if err != nil {
+		return nil, err
+	}
+	pos := make([]int, g.Len())
+	for k, v := range order {
+		pos[v] = k
+	}
+	idom := make([]int, g.Len())
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[Initial] = Initial
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for pos[a] > pos[b] {
+				a = idom[a]
+			}
+			for pos[b] > pos[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for _, v := range order {
+			if v == Initial {
+				continue
+			}
+			newIdom := -1
+			for u := range g.in[v] {
+				if idom[u] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = u
+				} else {
+					newIdom = intersect(newIdom, u)
+				}
+			}
+			if newIdom != -1 && idom[v] != newIdom {
+				idom[v] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom, nil
+}
+
+// CommonDominator returns the nearest common dominator of barriers a and b:
+// the deepest barrier that dominates both — the last common synchronization
+// point of the processors involved (section 4.4.1 step [2]).
+func (g *Graph) CommonDominator(a, b int) (int, error) {
+	idom, err := g.Dominators()
+	if err != nil {
+		return 0, err
+	}
+	return commonDominator(idom, a, b)
+}
+
+// commonDominator walks the dominator tree given precomputed idoms.
+func commonDominator(idom []int, a, b int) (int, error) {
+	if idom[a] == -1 || idom[b] == -1 {
+		return 0, fmt.Errorf("bdag: barrier unreachable from initial barrier")
+	}
+	depth := func(x int) int {
+		d := 0
+		for x != Initial {
+			x = idom[x]
+			d++
+		}
+		return d
+	}
+	da, db := depth(a), depth(b)
+	for da > db {
+		a = idom[a]
+		da--
+	}
+	for db > da {
+		b = idom[b]
+		db--
+	}
+	for a != b {
+		a = idom[a]
+		b = idom[b]
+	}
+	return a, nil
+}
+
+// Dominates reports whether barrier x dominates barrier y (every path from
+// the initial barrier to y passes through x). Every barrier dominates
+// itself.
+func (g *Graph) Dominates(x, y int) (bool, error) {
+	idom, err := g.Dominators()
+	if err != nil {
+		return false, err
+	}
+	if idom[y] == -1 {
+		return false, fmt.Errorf("bdag: barrier %d unreachable from initial barrier", y)
+	}
+	for {
+		if y == x {
+			return true, nil
+		}
+		if y == Initial {
+			return false, nil
+		}
+		y = idom[y]
+	}
+}

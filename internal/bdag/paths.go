@@ -1,0 +1,120 @@
+package bdag
+
+import (
+	"sort"
+)
+
+// Path is a barrier sequence from some u to some v along dag edges.
+type Path []int
+
+// edges returns the edge set of the path.
+func (p Path) edges() map[Edge]bool {
+	out := make(map[Edge]bool, len(p)-1)
+	for i := 0; i+1 < len(p); i++ {
+		out[Edge{p[i], p[i+1]}] = true
+	}
+	return out
+}
+
+// MaxLen returns the path length under maximum edge weights.
+func (g *Graph) MaxLen(p Path) int {
+	sum := 0
+	for i := 0; i+1 < len(p); i++ {
+		t, ok := g.out[p[i]][p[i+1]]
+		if !ok {
+			return Unreachable
+		}
+		sum += t.Max
+	}
+	return sum
+}
+
+// PathsBetween enumerates up to limit paths from u to v, ordered by
+// decreasing maximum-weight length — the ψ_max ≥ ψ²_max ≥ ψ³_max ≥ ...
+// sequence of section 4.4.2. Barrier dags are small (one node per inserted
+// barrier), so bounded exhaustive enumeration is practical; limit guards
+// against pathological blowup. If more than limit paths exist, the longest
+// limit paths are returned.
+func (g *Graph) PathsBetween(u, v int, limit int) []Path {
+	if limit <= 0 {
+		limit = 64
+	}
+	// Only explore nodes that can still reach v.
+	reachesV := make([]bool, g.Len())
+	{
+		stack := []int{v}
+		reachesV[v] = true
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for p := range g.in[x] {
+				if !reachesV[p] {
+					reachesV[p] = true
+					stack = append(stack, p)
+				}
+			}
+		}
+	}
+	var out []Path
+	const hardCap = 4096 // absolute enumeration bound
+	var cur Path
+	var dfs func(x int)
+	dfs = func(x int) {
+		if len(out) >= hardCap {
+			return
+		}
+		cur = append(cur, x)
+		if x == v {
+			out = append(out, append(Path(nil), cur...))
+		} else {
+			for _, s := range g.Succs(x) {
+				if reachesV[s] {
+					dfs(s)
+				}
+			}
+		}
+		cur = cur[:len(cur)-1]
+	}
+	if reachesV[u] {
+		dfs(u)
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		return g.MaxLen(out[a]) > g.MaxLen(out[b])
+	})
+	if len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// LongestMinForced computes the longest path from u to v using minimum edge
+// weights, except that edges in forced use their maximum weight — the
+// ψ*_min computation of section 4.4.2 (edges overlapping the producer's
+// ψ^j_max path are assumed to take maximum time). Returns Unreachable if v
+// is not reachable from u.
+func (g *Graph) LongestMinForced(u, v int, forced map[Edge]bool) (int, error) {
+	order, err := g.Topo()
+	if err != nil {
+		return 0, err
+	}
+	dist := make([]int, g.Len())
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[u] = 0
+	for _, x := range order {
+		if dist[x] == Unreachable {
+			continue
+		}
+		for s, t := range g.out[x] {
+			w := t.Min
+			if forced[Edge{x, s}] {
+				w = t.Max
+			}
+			if d := dist[x] + w; d > dist[s] {
+				dist[s] = d
+			}
+		}
+	}
+	return dist[v], nil
+}

@@ -1,0 +1,294 @@
+package cfg
+
+import (
+	"strings"
+	"testing"
+
+	"barriermimd/internal/core"
+	"barriermimd/internal/ir"
+	"barriermimd/internal/lang"
+	"barriermimd/internal/machine"
+	"barriermimd/internal/synth"
+)
+
+func compileCF(t *testing.T, src string, procs int) *Program {
+	t.Helper()
+	p, err := Lower(lang.MustParseCF(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Compile(core.DefaultOptions(procs), ir.DefaultTimings()); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLowerStraightLine(t *testing.T) {
+	p, err := Lower(lang.MustParseCF("x = 1\ny = x + 2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Blocks) != 1 {
+		t.Fatalf("blocks = %d, want 1", len(p.Blocks))
+	}
+	if p.Blocks[0].Term.Kind != Exit {
+		t.Errorf("terminator = %v, want exit", p.Blocks[0].Term)
+	}
+	if len(p.Blocks[0].Assigns) != 2 {
+		t.Errorf("assigns = %d", len(p.Blocks[0].Assigns))
+	}
+}
+
+func TestLowerIfElse(t *testing.T) {
+	p, err := Lower(lang.MustParseCF("if a { x = 1 } else { x = 2 }\ny = x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// entry (with cond), then, join, else = 4 blocks.
+	if len(p.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4:\n%s", len(p.Blocks), p.Render())
+	}
+	entry := p.Blocks[p.Entry]
+	if entry.Term.Kind != Branch {
+		t.Fatalf("entry terminator %v", entry.Term)
+	}
+	if !strings.HasPrefix(entry.Term.CondVar, "_c") {
+		t.Errorf("condition variable %q", entry.Term.CondVar)
+	}
+	thenB := p.Blocks[entry.Term.True]
+	elseB := p.Blocks[entry.Term.False]
+	if thenB.Term.Kind != Jump || elseB.Term.Kind != Jump {
+		t.Error("branch arms must jump to the join block")
+	}
+	if thenB.Term.True != elseB.Term.True {
+		t.Error("branch arms join different blocks")
+	}
+}
+
+func TestLowerIfWithoutElse(t *testing.T) {
+	p, err := Lower(lang.MustParseCF("if a { x = 1 }\ny = 2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := p.Blocks[p.Entry]
+	// False edge goes straight to the join block.
+	thenB := p.Blocks[entry.Term.True]
+	if thenB.Term.True != entry.Term.False {
+		t.Errorf("then arm joins B%d but false edge goes to B%d", thenB.Term.True, entry.Term.False)
+	}
+}
+
+func TestLowerWhileShape(t *testing.T) {
+	p, err := Lower(lang.MustParseCF("while n { n = n - 1 }"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// entry, header, body, exit.
+	if len(p.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4:\n%s", len(p.Blocks), p.Render())
+	}
+	entry := p.Blocks[p.Entry]
+	if entry.Term.Kind != Jump {
+		t.Fatalf("entry terminator %v", entry.Term)
+	}
+	header := p.Blocks[entry.Term.True]
+	if header.Term.Kind != Branch {
+		t.Fatalf("header terminator %v", header.Term)
+	}
+	body := p.Blocks[header.Term.True]
+	if body.Term.Kind != Jump || body.Term.True != header.ID {
+		t.Errorf("body must jump back to header: %v", body.Term)
+	}
+}
+
+func TestRunIfBothArms(t *testing.T) {
+	p := compileCF(t, "if a { x = 1 } else { x = 2 }", 4)
+	r, err := p.Run(ir.Memory{"a": 7}, RunConfig{Policy: machine.RandomTimes, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Memory["x"] != 1 {
+		t.Errorf("x = %d, want 1", r.Memory["x"])
+	}
+	r, err = p.Run(ir.Memory{"a": 0}, RunConfig{Policy: machine.RandomTimes, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Memory["x"] != 2 {
+		t.Errorf("x = %d, want 2", r.Memory["x"])
+	}
+}
+
+func TestRunWhileSum(t *testing.T) {
+	src := "sum = 0\ni = 5\nwhile i {\n sum = sum + i\n i = i - 1\n}"
+	p := compileCF(t, src, 4)
+	r, err := p.Run(nil, RunConfig{Policy: machine.RandomTimes, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Memory["sum"] != 15 {
+		t.Errorf("sum = %d, want 15", r.Memory["sum"])
+	}
+	// 1 entry + 6 header + 5 body + 1 exit = 13 dynamic blocks.
+	if len(r.Trace) != 13 {
+		t.Errorf("dynamic blocks = %d, want 13", len(r.Trace))
+	}
+	if r.ControlBarriers != len(r.Trace)-1 {
+		t.Errorf("control barriers = %d, want %d", r.ControlBarriers, len(r.Trace)-1)
+	}
+	if r.Time <= 0 {
+		t.Error("no time elapsed")
+	}
+}
+
+func TestRunMatchesReferenceEvaluator(t *testing.T) {
+	// Property: the scheduled machine execution computes exactly what the
+	// AST evaluator computes, across branches and loops.
+	srcs := []string{
+		"x = a + b\nif x { y = x * 2 } else { y = 0 - x }\nz = y + 1",
+		"i = n\nf = 1\nwhile i {\n f = f * i\n i = i - 1\n}",
+		"x = 0\nif a { if b { x = 1 } else { x = 2 } } else { x = 3 }",
+		"s = 0\nk = 4\nwhile k {\n if k & 1 { s = s + k } else { s = s - k }\n k = k - 1\n}",
+	}
+	for _, src := range srcs {
+		ast := lang.MustParseCF(src)
+		p := compileCF(t, src, 4)
+		for _, mem := range []ir.Memory{
+			{"a": 1, "b": 2, "n": 5},
+			{"a": 0, "b": 1, "n": 3},
+			{"a": -4, "b": 0, "n": 1},
+			{"a": 0, "b": 0, "n": 0},
+		} {
+			want, err := ast.Eval(mem, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := p.Run(mem, RunConfig{Policy: machine.RandomTimes, Seed: 9})
+			if err != nil {
+				t.Fatalf("src %q: %v", src, err)
+			}
+			for v, w := range want {
+				if strings.HasPrefix(v, "_c") {
+					continue
+				}
+				if got.Memory[v] != w {
+					t.Errorf("src %q mem %v: %s = %d, want %d", src, mem, v, got.Memory[v], w)
+				}
+			}
+		}
+	}
+}
+
+func TestRunBlockLimit(t *testing.T) {
+	p := compileCF(t, "x = 1\nwhile x { y = 1 }", 2)
+	_, err := p.Run(nil, RunConfig{Policy: machine.MinTimes, MaxBlocks: 50})
+	if err != ErrBlockLimit {
+		t.Errorf("err = %v, want ErrBlockLimit", err)
+	}
+}
+
+func TestRunRequiresCompile(t *testing.T) {
+	p, err := Lower(lang.MustParseCF("x = 1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(nil, RunConfig{}); err == nil {
+		t.Error("Run succeeded on uncompiled program")
+	}
+}
+
+func TestBarrierCostAddsInterBlockTime(t *testing.T) {
+	src := "i = 3\nwhile i { i = i - 1 }"
+	p := compileCF(t, src, 2)
+	free, err := p.Run(nil, RunConfig{Policy: machine.MinTimes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	costly, err := p.Run(nil, RunConfig{Policy: machine.MinTimes, BarrierCost: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if costly.Time < free.Time+10*free.ControlBarriers {
+		t.Errorf("barrier cost unaccounted: %d vs %d (+%d barriers)",
+			costly.Time, free.Time, free.ControlBarriers)
+	}
+}
+
+func TestStaticMetricsAggregate(t *testing.T) {
+	p := compileCF(t, "x = a + b\nif x { y = a * b } else { y = a / b }\nz = y % 7", 4)
+	m := p.StaticMetrics()
+	var sum int
+	for _, b := range p.Blocks {
+		if b.Sched != nil {
+			sum += b.Sched.Metrics.TotalImpliedSyncs
+		}
+	}
+	if m.TotalImpliedSyncs != sum {
+		t.Errorf("aggregated TIS %d != sum %d", m.TotalImpliedSyncs, sum)
+	}
+}
+
+func TestRenderListsBlocks(t *testing.T) {
+	p := compileCF(t, "if a { x = 1 }", 2)
+	out := p.Render()
+	for _, want := range []string{"entry:", "B0:", "branch", "exit"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEmptyProgram(t *testing.T) {
+	p := compileCF(t, "", 2)
+	r, err := p.Run(ir.Memory{"a": 1}, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Memory["a"] != 1 || len(r.Trace) != 1 {
+		t.Errorf("empty program result: %+v", r)
+	}
+}
+
+func TestRandomCFProgramsEndToEnd(t *testing.T) {
+	// Property at scale: random terminating control-flow programs compile,
+	// schedule, and execute to exactly the reference semantics, on several
+	// machine widths, with no dependence violations (Run checks each block).
+	for seed := int64(0); seed < 20; seed++ {
+		prog := synth.MustGenerateCF(synth.CFConfig{Statements: 25, Variables: 6}, seed)
+		cf, err := Lower(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs := int(2 + seed%4)
+		if err := cf.Compile(core.DefaultOptions(procs), ir.DefaultTimings()); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		mem := ir.Memory{}
+		for i := 0; i < 6; i++ {
+			mem[synth.VarName(i)] = int64(seed*13 + int64(i)*7 - 20)
+		}
+		want, err := prog.Eval(mem, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := cf.Run(mem, RunConfig{Policy: machine.RandomTimes, Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, cf.Render())
+		}
+		for v, w := range want {
+			if got.Memory[v] != w {
+				t.Errorf("seed %d: %s = %d, want %d", seed, v, got.Memory[v], w)
+			}
+		}
+	}
+}
+
+func TestCFGDOT(t *testing.T) {
+	p := compileCF(t, "if a { x = 1 } else { x = 2 }", 2)
+	dot := p.DOT()
+	for _, want := range []string{"digraph cfg", "b0 ->", "label=\"_c0\"", "label=\"!_c0\""} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package cfg
+
+import (
+	"fmt"
+
+	"barriermimd/internal/ir"
+	"barriermimd/internal/machine"
+)
+
+// RunConfig parameterizes whole-program execution.
+type RunConfig struct {
+	// Policy and Seed select instruction durations per block execution,
+	// as in machine.Config.
+	Policy machine.Policy
+	Seed   int64
+	// BarrierCost is the latency of the full inter-block barrier (and of
+	// intra-block barriers), in time units.
+	BarrierCost int
+	// MaxBlocks bounds dynamic block executions (0 means 100000), so
+	// nonterminating loops produce an error instead of hanging.
+	MaxBlocks int
+}
+
+// BlockExec records one dynamic basic-block execution.
+type BlockExec struct {
+	Block  int
+	Start  int
+	Finish int
+}
+
+// RunResult is a whole-program execution outcome.
+type RunResult struct {
+	// Memory is the final variable state.
+	Memory ir.Memory
+	// Time is the total execution time, including inter-block barriers.
+	Time int
+	// Trace lists the dynamic block sequence with timing.
+	Trace []BlockExec
+	// ControlBarriers counts the full barriers executed between blocks.
+	ControlBarriers int
+}
+
+// ErrBlockLimit reports a dynamic block-execution budget overrun.
+var ErrBlockLimit = fmt.Errorf("cfg: execution exceeded block limit")
+
+// Run executes the compiled program: blocks run one at a time across the
+// whole machine, separated by full barriers; branch decisions read the
+// condition variable's final in-memory value. Timing comes from the
+// discrete-event simulator; semantics from the tuple evaluator. Every
+// block execution is also checked for dependence violations, so Run
+// doubles as an end-to-end soundness oracle for the control-flow pipeline.
+func (p *Program) Run(initial ir.Memory, cfg RunConfig) (*RunResult, error) {
+	if !p.Compiled() {
+		return nil, fmt.Errorf("cfg: program not compiled")
+	}
+	limit := cfg.MaxBlocks
+	if limit <= 0 {
+		limit = 100_000
+	}
+	res := &RunResult{Memory: initial.Clone()}
+	cur := p.Entry
+	for count := 0; ; count++ {
+		if count >= limit {
+			return nil, ErrBlockLimit
+		}
+		b := p.Blocks[cur]
+
+		start := res.Time
+		run, err := machine.Run(b.Sched, machine.Config{
+			Policy:      cfg.Policy,
+			Seed:        cfg.Seed + int64(count),
+			BarrierCost: cfg.BarrierCost,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cfg: block B%d: %w", b.ID, err)
+		}
+		if err := run.CheckDependences(); err != nil {
+			return nil, fmt.Errorf("cfg: block B%d: %w", b.ID, err)
+		}
+		res.Time += run.FinishTime
+		res.Trace = append(res.Trace, BlockExec{Block: b.ID, Start: start, Finish: res.Time})
+
+		mem, err := b.Tuples.Eval(res.Memory)
+		if err != nil {
+			return nil, fmt.Errorf("cfg: block B%d: %w", b.ID, err)
+		}
+		res.Memory = mem
+
+		switch b.Term.Kind {
+		case Exit:
+			return res, nil
+		case Jump:
+			cur = b.Term.True
+		case Branch:
+			if res.Memory[b.Term.CondVar] != 0 {
+				cur = b.Term.True
+			} else {
+				cur = b.Term.False
+			}
+		default:
+			return nil, fmt.Errorf("cfg: block B%d has invalid terminator", b.ID)
+		}
+		// Full barrier across all processors between blocks.
+		res.Time += cfg.BarrierCost
+		res.ControlBarriers++
+	}
+}

@@ -1,0 +1,153 @@
+package cfg
+
+// Simplify cleans the lowered control-flow graph before compilation:
+//
+//   - jump threading: a terminator targeting an empty block that only
+//     jumps elsewhere is retargeted past it;
+//   - block merging: a block ending in an unconditional jump to a block
+//     with exactly one predecessor absorbs that block;
+//   - unreachable blocks are dropped and ids renumbered.
+//
+// Each removed block boundary is one fewer full control barrier at run
+// time — on a barrier MIMD, straightening jump chains directly removes
+// synchronization. Simplify must run before Compile.
+func (p *Program) Simplify() {
+	p.threadJumps()
+	p.mergeChains()
+	p.dropUnreachable()
+}
+
+// threadJumps retargets edges that point at empty jump-only blocks.
+func (p *Program) threadJumps() {
+	// resolve follows empty jump-only blocks to their final target,
+	// guarding against cycles of empty blocks.
+	resolve := func(id int) int {
+		seen := map[int]bool{}
+		for {
+			b := p.Blocks[id]
+			if len(b.Assigns) != 0 || b.Term.Kind != Jump || seen[id] {
+				return id
+			}
+			seen[id] = true
+			id = b.Term.True
+		}
+	}
+	for _, b := range p.Blocks {
+		switch b.Term.Kind {
+		case Jump:
+			b.Term.True = resolve(b.Term.True)
+		case Branch:
+			b.Term.True = resolve(b.Term.True)
+			b.Term.False = resolve(b.Term.False)
+		}
+	}
+	p.Entry = func() int {
+		id := p.Entry
+		seen := map[int]bool{}
+		for {
+			b := p.Blocks[id]
+			if len(b.Assigns) != 0 || b.Term.Kind != Jump || seen[id] {
+				return id
+			}
+			seen[id] = true
+			id = b.Term.True
+		}
+	}()
+}
+
+// mergeChains absorbs single-predecessor jump targets into their
+// predecessor.
+func (p *Program) mergeChains() {
+	for {
+		preds := p.predCounts()
+		merged := false
+		for _, b := range p.Blocks {
+			if b.Term.Kind != Jump {
+				continue
+			}
+			t := p.Blocks[b.Term.True]
+			if t == b || preds[t.ID] != 1 || t.ID == p.Entry {
+				continue
+			}
+			b.Assigns = append(b.Assigns, t.Assigns...)
+			b.Term = t.Term
+			t.Assigns = nil
+			t.Term = Terminator{Kind: Jump, True: t.ID} // self-loop marks dead
+			merged = true
+		}
+		if !merged {
+			return
+		}
+	}
+}
+
+// predCounts counts predecessors per reachable block.
+func (p *Program) predCounts() map[int]int {
+	counts := make(map[int]int)
+	seen := map[int]bool{p.Entry: true}
+	stack := []int{p.Entry}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		b := p.Blocks[id]
+		var succs []int
+		switch b.Term.Kind {
+		case Jump:
+			succs = []int{b.Term.True}
+		case Branch:
+			succs = []int{b.Term.True, b.Term.False}
+		}
+		for _, s := range succs {
+			counts[s]++
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return counts
+}
+
+// dropUnreachable removes unreachable blocks and renumbers the rest.
+func (p *Program) dropUnreachable() {
+	reachable := map[int]bool{p.Entry: true}
+	stack := []int{p.Entry}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		b := p.Blocks[id]
+		var succs []int
+		switch b.Term.Kind {
+		case Jump:
+			succs = []int{b.Term.True}
+		case Branch:
+			succs = []int{b.Term.True, b.Term.False}
+		}
+		for _, s := range succs {
+			if !reachable[s] {
+				reachable[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	remap := make(map[int]int)
+	var kept []*BasicBlock
+	for _, b := range p.Blocks {
+		if reachable[b.ID] {
+			remap[b.ID] = len(kept)
+			kept = append(kept, b)
+		}
+	}
+	for _, b := range kept {
+		b.ID = remap[b.ID]
+		switch b.Term.Kind {
+		case Jump:
+			b.Term.True = remap[b.Term.True]
+		case Branch:
+			b.Term.True = remap[b.Term.True]
+			b.Term.False = remap[b.Term.False]
+		}
+	}
+	p.Entry = remap[p.Entry]
+	p.Blocks = kept
+}

@@ -1,0 +1,163 @@
+package cfg
+
+import (
+	"strings"
+	"testing"
+
+	"barriermimd/internal/core"
+	"barriermimd/internal/ir"
+	"barriermimd/internal/lang"
+	"barriermimd/internal/machine"
+	"barriermimd/internal/synth"
+)
+
+func lowerAndSimplify(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Lower(lang.MustParseCF(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Simplify()
+	return p
+}
+
+func TestSimplifyRemovesJumpOnlyBlocks(t *testing.T) {
+	// An if inside a while produces join blocks that only jump; after
+	// simplification no reachable block should be assignment-free with a
+	// plain jump terminator (except possibly loop headers, which carry
+	// the condition assignment).
+	src := "i = 4\nwhile i {\n if i & 1 { x = x + 1 }\n i = i - 1\n}"
+	p := lowerAndSimplify(t, src)
+	for _, b := range p.Blocks {
+		if len(b.Assigns) == 0 && b.Term.Kind == Jump && b.Term.True != b.ID {
+			t.Errorf("jump-only block survived:\n%s", p.Render())
+		}
+	}
+}
+
+func TestSimplifyPreservesSemantics(t *testing.T) {
+	srcs := []string{
+		"x = a + b\nif x { y = x * 2 } else { y = 0 - x }\nz = y + 1",
+		"i = n\nf = 1\nwhile i {\n f = f * i\n i = i - 1\n}",
+		"x = 0\nif a { if b { x = 1 } else { x = 2 } } else { x = 3 }",
+		"s = 0\nk = 4\nwhile k {\n if k & 1 { s = s + k }\n k = k - 1\n}",
+		"if a { }\nb = 1",
+		"while a { a = a - a }",
+	}
+	for _, src := range srcs {
+		ast := lang.MustParseCF(src)
+		p := lowerAndSimplify(t, src)
+		if err := p.Compile(core.DefaultOptions(4), ir.DefaultTimings()); err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		for _, mem := range []ir.Memory{
+			{"a": 1, "b": 0, "n": 4},
+			{"a": 0, "b": 2, "n": 0},
+			{"a": -1, "b": -1, "n": 2},
+		} {
+			want, err := ast.Eval(mem, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := p.Run(mem, RunConfig{Policy: machine.RandomTimes, Seed: 5})
+			if err != nil {
+				t.Fatalf("%q: %v\n%s", src, err, p.Render())
+			}
+			for v, w := range want {
+				if strings.HasPrefix(v, "_c") {
+					continue
+				}
+				if got.Memory[v] != w {
+					t.Errorf("%q mem %v: %s = %d, want %d\n%s", src, mem, v, got.Memory[v], w, p.Render())
+				}
+			}
+		}
+	}
+}
+
+func TestSimplifyReducesControlBarriers(t *testing.T) {
+	// The if ends the loop body, so lowering emits an empty join block
+	// that only jumps back to the header — one wasted control barrier per
+	// iteration until Simplify threads it away.
+	src := "i = 6\nwhile i {\n i = i - 1\n if i & 1 { odd = odd + 1 } else { even = even + 1 }\n}"
+	build := func(simplify bool) *RunResult {
+		p, err := Lower(lang.MustParseCF(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if simplify {
+			p.Simplify()
+		}
+		if err := p.Compile(core.DefaultOptions(2), ir.DefaultTimings()); err != nil {
+			t.Fatal(err)
+		}
+		// Nonzero barrier cost: removed block boundaries must show up as
+		// saved time, not just counts.
+		r, err := p.Run(nil, RunConfig{Policy: machine.MinTimes, BarrierCost: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	plain := build(false)
+	simplified := build(true)
+	if simplified.Memory["odd"] != plain.Memory["odd"] || simplified.Memory["even"] != plain.Memory["even"] {
+		t.Fatal("simplification changed results")
+	}
+	if simplified.ControlBarriers >= plain.ControlBarriers {
+		t.Errorf("simplification did not reduce control barriers: %d vs %d",
+			simplified.ControlBarriers, plain.ControlBarriers)
+	}
+	if simplified.Time >= plain.Time {
+		t.Errorf("simplification did not reduce execution time: %d vs %d", simplified.Time, plain.Time)
+	}
+}
+
+func TestSimplifyRandomPrograms(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		prog := synth.MustGenerateCF(synth.CFConfig{Statements: 25, Variables: 6}, seed)
+		plain, err := Lower(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simp, err := Lower(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simp.Simplify()
+		if len(simp.Blocks) > len(plain.Blocks) {
+			t.Errorf("seed %d: simplification grew the CFG %d -> %d", seed, len(plain.Blocks), len(simp.Blocks))
+		}
+		if err := simp.Compile(core.DefaultOptions(3), ir.DefaultTimings()); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		mem := ir.Memory{}
+		for i := 0; i < 6; i++ {
+			mem[synth.VarName(i)] = int64(i) - 3
+		}
+		want, err := prog.Eval(mem, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := simp.Run(mem, RunConfig{Policy: machine.RandomTimes, Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for v, w := range want {
+			if got.Memory[v] != w {
+				t.Errorf("seed %d: %s = %d, want %d", seed, v, got.Memory[v], w)
+			}
+		}
+	}
+}
+
+func TestSimplifyEmptyProgram(t *testing.T) {
+	p, err := Lower(lang.MustParseCF(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Simplify()
+	if len(p.Blocks) != 1 || p.Blocks[p.Entry].Term.Kind != Exit {
+		t.Errorf("empty program mangled:\n%s", p.Render())
+	}
+}

@@ -1,0 +1,76 @@
+// Package cli implements the command-line tools (bmgen, bmsched, bmsim,
+// bmrun, bmexp) as testable functions: each takes an argument list and I/O
+// streams and returns a process exit code. The cmd/ main packages are thin
+// wrappers.
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"barriermimd/internal/core"
+	"barriermimd/internal/dag"
+	"barriermimd/internal/ir"
+	"barriermimd/internal/lang"
+	"barriermimd/internal/opt"
+)
+
+// readSource reads program text from the named file, or from stdin when
+// path is empty or "-".
+func readSource(path string, stdin io.Reader) (string, error) {
+	if path == "" || path == "-" {
+		b, err := io.ReadAll(stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+// compileSource parses, compiles and optimizes a straight-line program.
+func compileSource(src string) (*ir.Block, error) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	naive, err := lang.Compile(prog)
+	if err != nil {
+		return nil, err
+	}
+	optimized, _, err := opt.Optimize(naive)
+	return optimized, err
+}
+
+// buildDAG wraps dag.Build with the default timing model.
+func buildDAG(b *ir.Block) (*dag.Graph, error) {
+	return dag.Build(b, ir.DefaultTimings())
+}
+
+// parseMachine maps a -machine flag value.
+func parseMachine(name string) (core.MachineKind, error) {
+	switch strings.ToLower(name) {
+	case "sbm":
+		return core.SBM, nil
+	case "dbm":
+		return core.DBM, nil
+	}
+	return 0, fmt.Errorf("unknown machine %q (want sbm or dbm)", name)
+}
+
+// parseInsertion maps a -insertion flag value.
+func parseInsertion(name string) (core.Insertion, error) {
+	switch strings.ToLower(name) {
+	case "conservative":
+		return core.Conservative, nil
+	case "optimal":
+		return core.Optimal, nil
+	}
+	return 0, fmt.Errorf("unknown insertion %q (want conservative or optimal)", name)
+}
+
+// fail prints a prefixed error and returns exit code 1.
+func fail(stderr io.Writer, tool string, err error) int {
+	fmt.Fprintf(stderr, "%s: %v\n", tool, err)
+	return 1
+}

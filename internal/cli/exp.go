@@ -1,0 +1,59 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"barriermimd/internal/exp"
+)
+
+// Exp implements bmexp: regenerate the paper's tables and figures.
+func Exp(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bmexp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	name := fs.String("experiment", "all", "experiment name, or all")
+	runs := fs.Int("runs", 100, "benchmarks per parameter point (paper: 100)")
+	seed := fs.Int64("seed", 1, "base seed for benchmark generation")
+	list := fs.Bool("list", false, "list available experiments")
+	csvDir := fs.String("csv", "", "also write <experiment>.csv series files into this directory")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, n := range exp.Names() {
+			fmt.Fprintf(stdout, "%-12s %s\n", n, exp.Describe(n))
+		}
+		return 0
+	}
+
+	names := []string{*name}
+	if *name == "all" {
+		names = exp.Names()
+	}
+	cfg := exp.Config{Runs: *runs, Seed: *seed}
+	for _, n := range names {
+		start := time.Now()
+		r, err := exp.Run(n, cfg)
+		if err != nil {
+			return fail(stderr, "bmexp", err)
+		}
+		fmt.Fprintf(stdout, "================ %s ================\n\n", n)
+		fmt.Fprint(stdout, r.Render())
+		if *csvDir != "" {
+			if c, ok := r.(interface{ CSV() string }); ok {
+				path := filepath.Join(*csvDir, n+".csv")
+				if err := os.WriteFile(path, []byte(c.CSV()), 0o644); err != nil {
+					return fail(stderr, "bmexp", err)
+				}
+				fmt.Fprintf(stdout, "\n[series written to %s]\n", path)
+			}
+		}
+		fmt.Fprintf(stdout, "\n[%s completed in %v]\n\n", n, time.Since(start).Round(time.Millisecond))
+	}
+	return 0
+}

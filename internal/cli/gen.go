@@ -1,0 +1,64 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"barriermimd/internal/synth"
+)
+
+// Gen implements bmgen: emit a synthetic benchmark program, or with
+// -tuples its optimized Figure 1 style listing, or with -cf a random
+// control-flow program.
+func Gen(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bmgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	stmts := fs.Int("stmts", 60, "number of assignment statements (paper: 5-60, fig 17 uses 100)")
+	vars := fs.Int("vars", 10, "number of distinct variables (paper: 2-15)")
+	consts := fs.Int("consts", 8, "size of the constant pool")
+	seed := fs.Int64("seed", 1, "generator seed (same seed, same program)")
+	tuples := fs.Bool("tuples", false, "print the optimized tuple listing instead of source")
+	cf := fs.Bool("cf", false, "generate a control-flow program (if/while) instead")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *cf {
+		prog, err := synth.GenerateCF(synth.CFConfig{Statements: *stmts, Variables: *vars}, *seed)
+		if err != nil {
+			return fail(stderr, "bmgen", err)
+		}
+		fmt.Fprint(stdout, prog.String())
+		return 0
+	}
+
+	prog, err := synth.Generate(synth.Config{
+		Statements: *stmts,
+		Variables:  *vars,
+		Constants:  *consts,
+	}, *seed)
+	if err != nil {
+		return fail(stderr, "bmgen", err)
+	}
+	if !*tuples {
+		fmt.Fprint(stdout, prog.String())
+		return 0
+	}
+	block, err := compileSource(prog.String())
+	if err != nil {
+		return fail(stderr, "bmgen", err)
+	}
+	g, err := buildDAG(block)
+	if err != nil {
+		return fail(stderr, "bmgen", err)
+	}
+	ft, err := g.FinishTimes()
+	if err != nil {
+		return fail(stderr, "bmgen", err)
+	}
+	fmt.Fprint(stdout, block.Listing(func(i int) (int, int) { return ft.Min[i], ft.Max[i] }))
+	fmt.Fprintf(stdout, "\n%d tuples, %d implied synchronizations\n",
+		block.Len(), g.TotalImpliedSynchronizations())
+	return 0
+}

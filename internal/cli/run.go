@@ -1,0 +1,109 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"barriermimd/internal/cfg"
+	"barriermimd/internal/core"
+	"barriermimd/internal/ir"
+	"barriermimd/internal/lang"
+	"barriermimd/internal/machine"
+)
+
+// assignFlags collects repeated -set name=value flags.
+type assignFlags map[string]int64
+
+func (a assignFlags) String() string { return fmt.Sprint(map[string]int64(a)) }
+
+func (a assignFlags) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want name=value, got %q", s)
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(val), 10, 64)
+	if err != nil {
+		return err
+	}
+	a[strings.TrimSpace(name)] = v
+	return nil
+}
+
+// RunCF implements bmrun: compile and execute a control-flow program on
+// the simulated barrier MIMD.
+func RunCF(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bmrun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	procs := fs.Int("procs", 4, "number of processors")
+	seed := fs.Int64("seed", 0, "scheduler and timing seed")
+	cost := fs.Int("cost", 0, "hardware barrier latency in time units")
+	init := assignFlags{}
+	fs.Var(init, "set", "initial variable value, name=value (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	src, err := readSource(fs.Arg(0), stdin)
+	if err != nil {
+		return fail(stderr, "bmrun", err)
+	}
+	prog, err := lang.ParseCF(src)
+	if err != nil {
+		return fail(stderr, "bmrun", err)
+	}
+	cf, err := cfg.Lower(prog)
+	if err != nil {
+		return fail(stderr, "bmrun", err)
+	}
+	cf.Simplify()
+	opts := core.DefaultOptions(*procs)
+	opts.Seed = *seed
+	if err := cf.Compile(opts, ir.DefaultTimings()); err != nil {
+		return fail(stderr, "bmrun", err)
+	}
+	fmt.Fprintln(stdout, "=== Control-flow graph ===")
+	fmt.Fprint(stdout, cf.Render())
+
+	mem := ir.Memory{}
+	for k, v := range init {
+		mem[k] = v
+	}
+	res, err := cf.Run(mem, cfg.RunConfig{
+		Policy:      machine.RandomTimes,
+		Seed:        *seed,
+		BarrierCost: *cost,
+	})
+	if err != nil {
+		return fail(stderr, "bmrun", err)
+	}
+
+	fmt.Fprintln(stdout, "\n=== Execution ===")
+	fmt.Fprintf(stdout, "dynamic blocks: %d, control barriers: %d, total time: %d\n",
+		len(res.Trace), res.ControlBarriers, res.Time)
+	fmt.Fprint(stdout, "trace:")
+	for _, e := range res.Trace {
+		fmt.Fprintf(stdout, " B%d[%d,%d]", e.Block, e.Start, e.Finish)
+	}
+	fmt.Fprintln(stdout)
+
+	fmt.Fprintln(stdout, "\n=== Final memory ===")
+	names := make([]string, 0, len(res.Memory))
+	for v := range res.Memory {
+		if strings.HasPrefix(v, "_c") {
+			continue // compiler temporaries
+		}
+		names = append(names, v)
+	}
+	sort.Strings(names)
+	for _, v := range names {
+		fmt.Fprintf(stdout, "  %s = %d\n", v, res.Memory[v])
+	}
+
+	fmt.Fprintln(stdout, "\n=== Static metrics (summed over basic blocks) ===")
+	fmt.Fprintln(stdout, cf.StaticMetrics().String())
+	return 0
+}

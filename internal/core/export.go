@@ -1,0 +1,158 @@
+package core
+
+import (
+	"encoding/json"
+)
+
+// ExportedSchedule is the JSON shape produced by Schedule.ExportJSON: a
+// self-contained description of a schedule for external tooling
+// (visualizers, plotters, other languages). The export is one-way; the Go
+// API remains the source of truth.
+type ExportedSchedule struct {
+	Processors int               `json:"processors"`
+	Machine    string            `json:"machine"`
+	Insertion  string            `json:"insertion"`
+	Nodes      []ExportedNode    `json:"nodes"`
+	Timelines  [][]ExportedItem  `json:"timelines"`
+	Barriers   []ExportedBarrier `json:"barriers"`
+	Edges      []ExportedEdge    `json:"edges"`
+	Metrics    ExportedMetrics   `json:"metrics"`
+	SpanMin    int               `json:"span_min"`
+	SpanMax    int               `json:"span_max"`
+}
+
+// ExportedNode describes one instruction.
+type ExportedNode struct {
+	ID        int    `json:"id"`
+	TupleID   int    `json:"tuple_id"`
+	Op        string `json:"op"`
+	Text      string `json:"text"`
+	Processor int    `json:"processor"`
+	TimeMin   int    `json:"time_min"`
+	TimeMax   int    `json:"time_max"`
+	StartMin  int    `json:"start_min"`
+	StartMax  int    `json:"start_max"`
+	FinishMin int    `json:"finish_min"`
+	FinishMax int    `json:"finish_max"`
+}
+
+// ExportedItem is one timeline slot.
+type ExportedItem struct {
+	Kind    string `json:"kind"` // "instr" or "barrier"
+	Node    int    `json:"node,omitempty"`
+	Barrier int    `json:"barrier,omitempty"`
+}
+
+// ExportedBarrier describes one barrier with its fire window.
+type ExportedBarrier struct {
+	ID           int   `json:"id"`
+	Participants []int `json:"participants"`
+	FireMin      int   `json:"fire_min"`
+	FireMax      int   `json:"fire_max"`
+}
+
+// ExportedEdge is one producer/consumer dependence with its resolution.
+type ExportedEdge struct {
+	From       int    `json:"from"`
+	To         int    `json:"to"`
+	Resolution string `json:"resolution"` // "serialized" or "cross"
+}
+
+// ExportedMetrics mirrors Metrics with derived fractions.
+type ExportedMetrics struct {
+	TotalImpliedSyncs  int     `json:"total_implied_syncs"`
+	Barriers           int     `json:"barriers"`
+	SerializedSyncs    int     `json:"serialized_syncs"`
+	BarrierFraction    float64 `json:"barrier_fraction"`
+	SerializedFraction float64 `json:"serialized_fraction"`
+	StaticFraction     float64 `json:"static_fraction"`
+	MergedBarriers     int     `json:"merged_barriers"`
+	RepairedPairs      int     `json:"repaired_pairs"`
+}
+
+// Export builds the JSON-ready description of the schedule.
+func (s *Schedule) Export() (*ExportedSchedule, error) {
+	w, err := s.Windows()
+	if err != nil {
+		return nil, err
+	}
+	spanMin, spanMax, err := s.StaticSpan()
+	if err != nil {
+		return nil, err
+	}
+	fmin, fmax, err := s.Barriers.FireWindows()
+	if err != nil {
+		return nil, err
+	}
+
+	out := &ExportedSchedule{
+		Processors: s.Opts.Processors,
+		Machine:    s.Opts.Machine.String(),
+		Insertion:  s.Opts.Insertion.String(),
+		SpanMin:    spanMin,
+		SpanMax:    spanMax,
+		Metrics: ExportedMetrics{
+			TotalImpliedSyncs:  s.Metrics.TotalImpliedSyncs,
+			Barriers:           s.Metrics.Barriers,
+			SerializedSyncs:    s.Metrics.SerializedSyncs,
+			BarrierFraction:    s.Metrics.BarrierFraction(),
+			SerializedFraction: s.Metrics.SerializedFraction(),
+			StaticFraction:     s.Metrics.StaticFraction(),
+			MergedBarriers:     s.Metrics.MergedBarriers,
+			RepairedPairs:      s.Metrics.RepairedPairs,
+		},
+	}
+	for n := 0; n < s.Graph.N; n++ {
+		t := s.Graph.Block.Tuples[n]
+		out.Nodes = append(out.Nodes, ExportedNode{
+			ID:        n,
+			TupleID:   s.Graph.Block.ID(n),
+			Op:        t.Op.String(),
+			Text:      t.String(),
+			Processor: s.AssignTo[n],
+			TimeMin:   s.Graph.Time[n].Min,
+			TimeMax:   s.Graph.Time[n].Max,
+			StartMin:  w.Start[n].Min,
+			StartMax:  w.Start[n].Max,
+			FinishMin: w.Finish[n].Min,
+			FinishMax: w.Finish[n].Max,
+		})
+	}
+	for _, tl := range s.Procs {
+		row := make([]ExportedItem, 0, len(tl))
+		for _, it := range tl {
+			if it.IsBarrier {
+				row = append(row, ExportedItem{Kind: "barrier", Barrier: it.Barrier})
+			} else {
+				row = append(row, ExportedItem{Kind: "instr", Node: it.Node})
+			}
+		}
+		out.Timelines = append(out.Timelines, row)
+	}
+	for _, id := range s.BarrierIDs() {
+		n := s.BarrierNode[id]
+		out.Barriers = append(out.Barriers, ExportedBarrier{
+			ID:           id,
+			Participants: s.Participants[id],
+			FireMin:      fmin[n],
+			FireMax:      fmax[n],
+		})
+	}
+	for _, e := range s.Graph.RealEdges() {
+		res := "cross"
+		if s.AssignTo[e.From] == s.AssignTo[e.To] {
+			res = "serialized"
+		}
+		out.Edges = append(out.Edges, ExportedEdge{From: e.From, To: e.To, Resolution: res})
+	}
+	return out, nil
+}
+
+// ExportJSON renders the schedule as indented JSON.
+func (s *Schedule) ExportJSON() ([]byte, error) {
+	e, err := s.Export()
+	if err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(e, "", "  ")
+}

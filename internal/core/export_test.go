@@ -1,0 +1,107 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestExportJSONRoundTripsThroughStdlib(t *testing.T) {
+	s, err := quickSchedule(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := s.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ExportedSchedule
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("exported JSON does not parse: %v", err)
+	}
+	if back.Processors != s.Opts.Processors {
+		t.Errorf("processors = %d, want %d", back.Processors, s.Opts.Processors)
+	}
+	if len(back.Nodes) != s.Graph.N {
+		t.Errorf("nodes = %d, want %d", len(back.Nodes), s.Graph.N)
+	}
+	if len(back.Timelines) != s.Opts.Processors {
+		t.Errorf("timelines = %d, want %d", len(back.Timelines), s.Opts.Processors)
+	}
+	if len(back.Barriers) != s.NumBarriers()+1 {
+		t.Errorf("barriers = %d, want %d", len(back.Barriers), s.NumBarriers()+1)
+	}
+	if len(back.Edges) != s.Metrics.TotalImpliedSyncs {
+		t.Errorf("edges = %d, want %d", len(back.Edges), s.Metrics.TotalImpliedSyncs)
+	}
+}
+
+func TestExportConsistency(t *testing.T) {
+	s, err := quickSchedule(23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := s.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every node appears in exactly one timeline, on its claimed
+	// processor.
+	seen := make(map[int]int)
+	for p, tl := range e.Timelines {
+		for _, it := range tl {
+			if it.Kind == "instr" {
+				seen[it.Node]++
+				if e.Nodes[it.Node].Processor != p {
+					t.Errorf("node %d in timeline %d but claims processor %d", it.Node, p, e.Nodes[it.Node].Processor)
+				}
+			}
+		}
+	}
+	for n := range e.Nodes {
+		if seen[n] != 1 {
+			t.Errorf("node %d appears %d times", n, seen[n])
+		}
+	}
+	// Fraction consistency.
+	m := e.Metrics
+	sum := m.BarrierFraction + m.SerializedFraction + m.StaticFraction
+	if m.TotalImpliedSyncs > 0 && (sum < 0.999 || sum > 1.001) {
+		t.Errorf("fractions sum to %v", sum)
+	}
+	// Windows ordered and within the span.
+	for _, n := range e.Nodes {
+		if n.StartMin > n.StartMax || n.FinishMin > n.FinishMax || n.FinishMax > e.SpanMax {
+			t.Errorf("node %d windows inconsistent: %+v (span max %d)", n.ID, n, e.SpanMax)
+		}
+	}
+	// Serialized edge count matches metrics.
+	ser := 0
+	for _, edge := range e.Edges {
+		if edge.Resolution == "serialized" {
+			ser++
+		}
+	}
+	if ser != m.SerializedSyncs {
+		t.Errorf("serialized edges %d != metrics %d", ser, m.SerializedSyncs)
+	}
+}
+
+func TestBarrierDOT(t *testing.T) {
+	s, err := quickSchedule(31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot, err := s.BarrierDOT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"digraph barrier_dag", "b0", "fires [0,0]"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	if s.NumBarriers() > 0 && !strings.Contains(dot, "->") {
+		t.Error("DOT missing edges")
+	}
+}

@@ -1,0 +1,572 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"barriermimd/internal/bdag"
+)
+
+// checkOutcome classifies how a cross-processor producer/consumer pair is
+// satisfied.
+type checkOutcome uint8
+
+const (
+	// chkPath: an existing barrier chain already orders producer before
+	// consumer (section 4.4.1 step [1]).
+	chkPath checkOutcome = iota
+	// chkTiming: the static timing constraints resolve the pair (steps
+	// [2]–[5], possibly via the optimal refinement).
+	chkTiming
+	// chkBarrier: a barrier must be inserted (step [6]).
+	chkBarrier
+)
+
+// pairTiming carries the intermediate quantities of the section 4.4.1
+// check, reused by barrier placement.
+type pairTiming struct {
+	cd      int // common dominator (bdag node)
+	lg, li  int // LastBar(g), LastBar(i) as bdag nodes
+	tMaxG   int // T_max(g): worst-case producer finish relative to cd
+	tMinI   int // T_min(i⁻): best-case consumer start relative to cd
+	tMaxI   int // T_max(i⁻): worst-case consumer start relative to cd
+	rescued bool
+}
+
+// resolvePair classifies the pair (g producer, i consumer, on different
+// processors) and inserts a barrier when required, followed by SBM merging
+// and re-verification of previously timing-resolved pairs.
+func (s *scheduler) resolvePair(g, i int) error {
+	outcome, pt, err := s.checkPair(g, i)
+	if err != nil {
+		return err
+	}
+	switch outcome {
+	case chkPath:
+		s.mx.PathResolved++
+	case chkTiming:
+		s.mx.TimingResolved++
+		if pt.rescued {
+			s.mx.OptimalRescues++
+		}
+		if pt.cd != bdag.Initial {
+			s.mx.StaticAfterBarrier++
+		}
+		s.timingPairs = append(s.timingPairs, pairRec{g, i})
+	case chkBarrier:
+		if err := s.insertBarrier(g, i, pt); err != nil {
+			return err
+		}
+		if s.opts.Machine == SBM {
+			if err := s.mergePass(); err != nil {
+				return err
+			}
+		}
+		if err := s.verifyRepair(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkPair runs steps [1]–[5] of the conservative insertion algorithm
+// (and, under Options.Insertion == Optimal, the section 4.4.2 refinement).
+// Both g and i must already be placed.
+func (s *scheduler) checkPair(g, i int) (checkOutcome, pairTiming, error) {
+	if err := s.ensureGraph(); err != nil {
+		return 0, pairTiming{}, err
+	}
+	P, C := s.assign[g], s.assign[i]
+	gi, ii := s.nodeIdx[g], s.nodeIdx[i]
+
+	lastG, _ := s.lastBarBefore(P, gi)
+	lastI, _ := s.lastBarBefore(C, ii)
+	lg, li := s.bnode[lastG], s.bnode[lastI]
+
+	// Step [1]: PathFind(NextBar(g), LastBar(i)).
+	if nb := s.nextBarAfter(P, gi+1); nb >= 0 {
+		if s.bg.HasPath(s.bnode[nb], li) {
+			return chkPath, pairTiming{}, nil
+		}
+	}
+
+	// Under Naive insertion no timing is tracked: any pair not already
+	// ordered by barriers gets one (still via the common-dominator
+	// machinery so placement and metrics stay comparable).
+	naive := s.opts.Insertion == Naive
+
+	// Step [2]: nearest common dominating barrier.
+	cd, err := s.commonDom(lg, li)
+	if err != nil {
+		return 0, pairTiming{}, err
+	}
+
+	// Steps [3]–[4]: propagate timing from the common dominator.
+	distMax, err := s.bg.LongestFrom(cd, true)
+	if err != nil {
+		return 0, pairTiming{}, err
+	}
+	distMin, err := s.bg.LongestFrom(cd, false)
+	if err != nil {
+		return 0, pairTiming{}, err
+	}
+	if distMax[lg] == bdag.Unreachable || distMin[li] == bdag.Unreachable {
+		return 0, pairTiming{}, fmt.Errorf("core: common dominator %d does not reach barriers %d/%d", cd, lg, li)
+	}
+	dMaxG := s.deltaRange(P, gi+1, true) // through g inclusive
+	dMinI := s.deltaRange(C, ii, false)  // up to but excluding i
+	dMaxI := s.deltaRange(C, ii, true)
+	pt := pairTiming{
+		cd: cd, lg: lg, li: li,
+		tMaxG: distMax[lg] + dMaxG,
+		tMinI: distMin[li] + dMinI,
+		tMaxI: distMax[li] + dMaxI,
+	}
+
+	// Step [5].
+	if !naive && pt.tMinI >= pt.tMaxG {
+		return chkTiming, pt, nil
+	}
+
+	// Section 4.4.2 refinement: walk the k-longest max-time paths cd→lg;
+	// for each that is not already below the plain minimum bound, recompute
+	// the consumer's minimum path with the overlapping edges forced to
+	// their maximum times.
+	if s.opts.Insertion == Optimal {
+		ok, err := s.optimalCheck(pt, dMaxG, dMinI)
+		if err != nil {
+			return 0, pairTiming{}, err
+		}
+		if ok {
+			pt.rescued = true
+			return chkTiming, pt, nil
+		}
+	}
+	return chkBarrier, pt, nil
+}
+
+// optimalCheck implements the path-overlap refinement of section 4.4.2.
+func (s *scheduler) optimalCheck(pt pairTiming, dMaxG, dMinI int) (bool, error) {
+	limit := s.opts.PathLimit
+	if limit <= 0 {
+		limit = 64
+	}
+	plainMin := pt.tMinI // l(ψ_min(u,w)) + δ_min(i⁻)
+	for _, path := range s.bg.PathsBetween(pt.cd, pt.lg, limit) {
+		lj := s.bg.MaxLen(path) + dMaxG
+		if lj <= plainMin {
+			// All remaining (shorter) paths are satisfied outright.
+			return true, nil
+		}
+		forced := make(map[bdag.Edge]bool, len(path))
+		for k := 0; k+1 < len(path); k++ {
+			forced[bdag.Edge{From: path[k], To: path[k+1]}] = true
+		}
+		starMin, err := s.bg.LongestMinForced(pt.cd, pt.li, forced)
+		if err != nil {
+			return false, err
+		}
+		if starMin == bdag.Unreachable || lj > starMin+dMinI {
+			return false, nil
+		}
+	}
+	// Every enumerated path passed its overlap-adjusted check.
+	return true, nil
+}
+
+// commonDom finds the nearest common dominator of two bdag nodes using the
+// cached dominator tree.
+func (s *scheduler) commonDom(a, b int) (int, error) {
+	idom := s.idom
+	if idom[a] == -1 || idom[b] == -1 {
+		return 0, fmt.Errorf("core: barrier unreachable from initial barrier")
+	}
+	depth := func(x int) int {
+		d := 0
+		for x != bdag.Initial {
+			x = idom[x]
+			d++
+		}
+		return d
+	}
+	da, db := depth(a), depth(b)
+	for da > db {
+		a, da = idom[a], da-1
+	}
+	for db > da {
+		b, db = idom[b], db-1
+	}
+	for a != b {
+		a, b = idom[a], idom[b]
+	}
+	return a, nil
+}
+
+// snapshot captures the mutable schedule state so a tentative mutation can
+// be rolled back.
+type snapshot struct {
+	procs   [][]Item
+	parts   map[int][]int
+	nodeIdx []int
+	nextBar int
+}
+
+func (s *scheduler) snapshot() snapshot {
+	sn := snapshot{
+		procs:   make([][]Item, len(s.procs)),
+		parts:   make(map[int][]int, len(s.parts)),
+		nodeIdx: append([]int(nil), s.nodeIdx...),
+		nextBar: s.nextBar,
+	}
+	for p := range s.procs {
+		sn.procs[p] = append([]Item(nil), s.procs[p]...)
+	}
+	for id, ps := range s.parts {
+		sn.parts[id] = append([]int(nil), ps...)
+	}
+	return sn
+}
+
+func (s *scheduler) restore(sn snapshot) {
+	s.procs = sn.procs
+	s.parts = sn.parts
+	s.nodeIdx = sn.nodeIdx
+	s.nextBar = sn.nextBar
+	s.dirty = true
+}
+
+// invertedPair reports whether the schedule structurally forces consumer i
+// to complete before producer g starts: i precedes a barrier X on its
+// processor, g follows a barrier W on its processor, and X reaches W in the
+// barrier dag (X == W counts). Such an inversion makes the data dependence
+// (g, i) unsatisfiable by any further barrier, so mutations that would
+// create one for a pending timing-resolved pair must be avoided.
+func (s *scheduler) invertedPair(g, i int) (bool, error) {
+	if err := s.ensureGraph(); err != nil {
+		return false, err
+	}
+	x := s.nextBarAfter(s.assign[i], s.nodeIdx[i]+1)
+	if x < 0 {
+		return false, nil
+	}
+	w, _ := s.lastBarBefore(s.assign[g], s.nodeIdx[g])
+	return s.bg.HasPath(s.bnode[x], s.bnode[w]), nil
+}
+
+// findInvertedPending returns the first pending timing-resolved pair that
+// is structurally inverted in the current state, if any.
+func (s *scheduler) findInvertedPending() (pairRec, bool, error) {
+	for _, pr := range s.timingPairs {
+		inv, err := s.invertedPair(pr.g, pr.i)
+		if err != nil {
+			return pairRec{}, false, err
+		}
+		if inv {
+			return pr, true, nil
+		}
+	}
+	return pairRec{}, false, nil
+}
+
+// insertBarrier performs step [6]: a new barrier across Processor(g) and
+// Processor(i), placed just before i on the consumer side and after g on
+// the producer side — preferably after additional instructions g⁺ whose
+// worst-case execution window the consumer would not beat anyway (the
+// paper's placement refinement).
+//
+// Two guards protect global soundness:
+//   - the barrier dag must stay acyclic, and
+//   - no pending timing-resolved pair may become structurally inverted.
+//
+// The paper's g⁺ placement is tried first; the fallback placement
+// (immediately after g, immediately before i) provably cannot create a
+// cycle: the four routes back into the new barrier are excluded by dag
+// acyclicity, by the failed PathFind (no NextBar(g)→LastBar(i) path), and
+// by the invariant that the pair being protected is itself not inverted.
+// If even the fallback would invert some other pending pair, that pair is
+// barrier-protected first ("repair first"), which terminates because each
+// protection permanently shrinks the pending set.
+func (s *scheduler) insertBarrier(g, i int, pt pairTiming) error {
+	return s.insertBarrierDepth(g, i, pt, len(s.timingPairs)+4)
+}
+
+func (s *scheduler) insertBarrierDepth(g, i int, pt pairTiming, depth int) error {
+	if depth < 0 {
+		return fmt.Errorf("core: repair-first recursion exceeded bound for pair (%d,%d)", g, i)
+	}
+	P, C := s.assign[g], s.assign[i]
+	if P == C {
+		return fmt.Errorf("core: insertBarrier on same processor %d", P)
+	}
+	gi := s.nodeIdx[g]
+	safePos := gi + 1
+
+	// The paper's g⁺ advance: include producer-side instructions that
+	// start (in the worst case) before the consumer could reach the
+	// barrier anyway, stopping at the next barrier.
+	paperPos := safePos
+	if pt.tMaxI > pt.tMaxG {
+		cum := pt.tMaxG
+		for paperPos < len(s.procs[P]) && !s.procs[P][paperPos].IsBarrier {
+			start := cum
+			cum += s.g.Time[s.procs[P][paperPos].Node].Max
+			if start >= pt.tMaxI {
+				break
+			}
+			paperPos++
+		}
+	}
+
+	try := func(pos int) (bool, error) {
+		sn := s.snapshot()
+		id := s.nextBar
+		s.nextBar++
+		s.parts[id] = []int{min(P, C), max(P, C)}
+		s.insertItemAt(P, pos, Item{Barrier: id, IsBarrier: true})
+		s.insertItemAt(C, s.nodeIdx[i], Item{Barrier: id, IsBarrier: true})
+		if err := s.ensureGraph(); err != nil {
+			s.restore(sn)
+			return false, nil
+		}
+		if _, found, err := s.findInvertedPending(); err != nil {
+			return false, err
+		} else if found {
+			s.restore(sn)
+			return false, nil
+		}
+		return true, nil
+	}
+
+	for _, pos := range []int{paperPos, safePos} {
+		ok, err := try(pos)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return nil
+		}
+		if pos == safePos {
+			break
+		}
+	}
+
+	// Even the safe placement inverts some pending pair: protect that pair
+	// with its own barrier first, then retry.
+	pr, found, err := s.findInvertedPendingUnder(g, i, safePos)
+	if err != nil {
+		return err
+	}
+	if !found {
+		// The safe placement failed for a different reason (cycle), which
+		// the invariants should rule out: report loudly.
+		return fmt.Errorf("core: no sound barrier placement for pair (%d,%d)", g, i)
+	}
+	if err := s.forceProtect(pr, depth); err != nil {
+		return err
+	}
+	// The protection barrier may itself already order (or re-time) the
+	// original pair, and in any case pt is stale: re-run the check before
+	// retrying the insertion.
+	outcome, pt2, err := s.checkPair(g, i)
+	if err != nil {
+		return err
+	}
+	if outcome != chkBarrier {
+		return nil
+	}
+	return s.insertBarrierDepth(g, i, pt2, depth-1)
+}
+
+// findInvertedPendingUnder tentatively applies the safe placement for
+// (g, i) and returns a pending pair it would invert.
+func (s *scheduler) findInvertedPendingUnder(g, i, pos int) (pairRec, bool, error) {
+	P, C := s.assign[g], s.assign[i]
+	sn := s.snapshot()
+	defer s.restore(sn)
+	id := s.nextBar
+	s.nextBar++
+	s.parts[id] = []int{min(P, C), max(P, C)}
+	s.insertItemAt(P, pos, Item{Barrier: id, IsBarrier: true})
+	s.insertItemAt(C, s.nodeIdx[i], Item{Barrier: id, IsBarrier: true})
+	if err := s.ensureGraph(); err != nil {
+		return pairRec{}, false, nil
+	}
+	return s.findInvertedPending()
+}
+
+// forceProtect removes pr from the pending set and orders it with a
+// barrier chain regardless of whether its timing check currently passes,
+// because an imminent mutation is about to invalidate it.
+func (s *scheduler) forceProtect(pr pairRec, depth int) error {
+	for k, q := range s.timingPairs {
+		if q == pr {
+			s.timingPairs = append(s.timingPairs[:k], s.timingPairs[k+1:]...)
+			break
+		}
+	}
+	outcome, pt, err := s.checkPair(pr.g, pr.i)
+	if err != nil {
+		return err
+	}
+	if outcome == chkPath {
+		return nil // already ordered by barriers
+	}
+	s.mx.RepairedPairs++
+	return s.insertBarrierDepth(pr.g, pr.i, pt, depth-1)
+}
+
+// insertItemAt inserts it into processor p's timeline at index pos.
+func (s *scheduler) insertItemAt(p, pos int, it Item) {
+	tl := s.procs[p]
+	tl = append(tl, Item{})
+	copy(tl[pos+1:], tl[pos:])
+	tl[pos] = it
+	s.procs[p] = tl
+	s.reindex(p)
+	s.dirty = true
+}
+
+// mergePass implements section 4.4.3 for SBM schedules: while any two
+// barriers are unordered in the dag and have overlapping fire windows,
+// merge them into one barrier spanning the union of their processors.
+//
+// A merge that would structurally invert a pending timing-resolved
+// producer/consumer pair is rejected (the paper does not consider this
+// interaction; an inverted pair could never be repaired). Rejected pairs
+// are skipped for the remainder of the pass.
+func (s *scheduler) mergePass() error {
+	rejected := make(map[[2]int]bool)
+	for {
+		if err := s.ensureGraph(); err != nil {
+			return err
+		}
+		fmin, fmax, err := s.bg.FireWindows()
+		if err != nil {
+			return err
+		}
+		ids := make([]int, 0, len(s.parts))
+		for id := range s.parts {
+			if id != InitialBarrier {
+				ids = append(ids, id)
+			}
+		}
+		sort.Ints(ids)
+		merged := false
+		for x := 0; x < len(ids) && !merged; x++ {
+			for y := x + 1; y < len(ids) && !merged; y++ {
+				a, b := ids[x], ids[y]
+				if rejected[[2]int{a, b}] {
+					continue
+				}
+				na, nb := s.bnode[a], s.bnode[b]
+				if fmin[na] > fmax[nb] || fmin[nb] > fmax[na] {
+					continue // windows disjoint
+				}
+				if s.bg.Ordered(na, nb) {
+					continue
+				}
+				sn := s.snapshot()
+				s.merge(a, b)
+				if err := s.ensureGraph(); err != nil {
+					s.restore(sn)
+					s.mx.MergedBarriers--
+					rejected[[2]int{a, b}] = true
+					continue
+				}
+				if _, found, err := s.findInvertedPending(); err != nil {
+					return err
+				} else if found {
+					s.restore(sn)
+					s.mx.MergedBarriers--
+					rejected[[2]int{a, b}] = true
+					continue
+				}
+				merged = true
+			}
+		}
+		if !merged {
+			return nil
+		}
+	}
+}
+
+// merge folds barrier b into barrier a: participants are unioned and every
+// wait on b becomes a wait on a. Unordered barriers never share a
+// processor (a shared processor's timeline would order them), so no
+// timeline can end up waiting twice.
+func (s *scheduler) merge(a, b int) {
+	set := make(map[int]bool)
+	for _, p := range s.parts[a] {
+		set[p] = true
+	}
+	for _, p := range s.parts[b] {
+		set[p] = true
+	}
+	union := make([]int, 0, len(set))
+	for p := range set {
+		union = append(union, p)
+	}
+	sort.Ints(union)
+	s.parts[a] = union
+	delete(s.parts, b)
+	for p := range s.procs {
+		for k := range s.procs[p] {
+			if s.procs[p][k].IsBarrier && s.procs[p][k].Barrier == b {
+				s.procs[p][k].Barrier = a
+			}
+		}
+	}
+	s.mx.MergedBarriers++
+	s.dirty = true
+}
+
+// verifyRepair re-checks every pair previously resolved by the timing
+// check; any pair invalidated by subsequent barrier insertions or merges
+// gets a repair barrier. Runs to fixpoint (repairs convert timing-resolved
+// pairs to barrier-ordered pairs, which stay satisfied forever, so the
+// loop terminates).
+func (s *scheduler) verifyRepair() error {
+	for {
+		repaired := false
+		// Iterate over a private copy: insertBarrier below may recursively
+		// force-protect (and remove) other pending pairs, mutating
+		// s.timingPairs in place — an aliased view would be corrupted by
+		// that left-shift.
+		pending := append([]pairRec(nil), s.timingPairs...)
+		var remaining []pairRec
+		for k, pr := range pending {
+			outcome, pt, err := s.checkPair(pr.g, pr.i)
+			if err != nil {
+				return err
+			}
+			switch outcome {
+			case chkPath:
+				// Now ordered by barriers; drop from the watch list.
+			case chkTiming:
+				remaining = append(remaining, pr)
+			case chkBarrier:
+				s.mx.RepairedPairs++
+				// Commit the watch list (without pr) before mutating the
+				// schedule, so recursive protection sees a consistent,
+				// non-aliased list; then restart from fresh state.
+				s.timingPairs = append(remaining, pending[k+1:]...)
+				if err := s.insertBarrier(pr.g, pr.i, pt); err != nil {
+					return err
+				}
+				if s.opts.Machine == SBM {
+					if err := s.mergePass(); err != nil {
+						return err
+					}
+				}
+				repaired = true
+			}
+			if repaired {
+				break
+			}
+		}
+		if !repaired {
+			s.timingPairs = remaining
+			return nil
+		}
+	}
+}

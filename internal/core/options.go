@@ -1,0 +1,178 @@
+// Package core implements the paper's primary contribution: list
+// scheduling of basic blocks onto a barrier MIMD (section 4), including
+// node labeling and ordering (4.1–4.2), node assignment (4.3), conservative
+// and "optimal" barrier insertion (4.4.1–4.4.2), and SBM barrier merging
+// (4.4.3).
+//
+// # Soundness refinement
+//
+// The paper's insertion rules reason about producer/consumer timing through
+// the barrier dag. Inserting a barrier (or merging two) can retroactively
+// *delay* the worst-case finish time of instructions scheduled after it,
+// which may invalidate a producer/consumer pair that was previously proven
+// safe by the timing check. The paper does not discuss this interaction, so
+// this implementation re-verifies every timing-resolved pair after each
+// barrier insertion or merge and repairs any broken pair by inserting a
+// barrier for it (Metrics.RepairedPairs counts these). The discrete-event
+// simulator in internal/machine validates the resulting schedules end to
+// end under randomized instruction timings.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// MachineKind selects static or dynamic barrier MIMD scheduling. The only
+// scheduling-time difference (section 4.4.3) is that SBM schedules merge
+// overlapping unordered barriers, because the SBM hardware executes
+// barriers from a FIFO queue in a single compile-time order.
+type MachineKind uint8
+
+const (
+	// SBM is the static barrier MIMD: barriers are totally ordered at
+	// compile time and overlapping unordered barriers are merged.
+	SBM MachineKind = iota
+	// DBM is the dynamic barrier MIMD: barriers fire in run-time order, so
+	// no merging is needed.
+	DBM
+)
+
+func (m MachineKind) String() string {
+	switch m {
+	case SBM:
+		return "SBM"
+	case DBM:
+		return "DBM"
+	}
+	return fmt.Sprintf("MachineKind(%d)", uint8(m))
+}
+
+// Insertion selects the barrier insertion algorithm of section 4.4.
+type Insertion uint8
+
+const (
+	// Conservative is the section 4.4.1 algorithm. The paper used it for
+	// all experiments ("much simpler and the results were very good").
+	Conservative Insertion = iota
+	// Optimal is the section 4.4.2 algorithm: it additionally checks the
+	// k-longest producer paths with overlap-forced edge weights before
+	// giving up and inserting a barrier.
+	Optimal
+	// Naive disables timing tracking entirely: every cross-processor
+	// pair not already ordered by an existing barrier chain gets a
+	// barrier. This approximates the pre-timing insertion sketched when
+	// barrier MIMDs were first proposed [DiSc88, DSOZ89] and serves as
+	// the ablation baseline that quantifies what this paper's min/max
+	// execution-time tracking contributes.
+	Naive
+)
+
+func (i Insertion) String() string {
+	switch i {
+	case Conservative:
+		return "conservative"
+	case Optimal:
+		return "optimal"
+	case Naive:
+		return "naive"
+	}
+	return fmt.Sprintf("Insertion(%d)", uint8(i))
+}
+
+// Ordering selects the node-ordering key (section 4.2 and the 5.4
+// ablation).
+type Ordering uint8
+
+const (
+	// MaxHeightFirst sorts by descending h_max, breaking ties by
+	// descending h_min: optimize the worst case first (the paper's
+	// default).
+	MaxHeightFirst Ordering = iota
+	// MinHeightFirst swaps the keys: the section 5.4 ablation that
+	// optimizes the best case first.
+	MinHeightFirst
+)
+
+func (o Ordering) String() string {
+	switch o {
+	case MaxHeightFirst:
+		return "hmax-first"
+	case MinHeightFirst:
+		return "hmin-first"
+	}
+	return fmt.Sprintf("Ordering(%d)", uint8(o))
+}
+
+// Assignment selects the node-assignment policy (section 4.3 and the 5.4
+// round-robin ablation).
+type Assignment uint8
+
+const (
+	// ListAssignment is the section 4.3 policy: serialize onto an idle
+	// producer processor when possible, otherwise earliest start.
+	ListAssignment Assignment = iota
+	// RoundRobin assigns the i-th node of the list to processor i mod N.
+	RoundRobin
+)
+
+func (a Assignment) String() string {
+	switch a {
+	case ListAssignment:
+		return "list"
+	case RoundRobin:
+		return "round-robin"
+	}
+	return fmt.Sprintf("Assignment(%d)", uint8(a))
+}
+
+// Options configures a scheduling run. The zero value is not valid; use
+// DefaultOptions and override.
+type Options struct {
+	// Processors is the machine size (paper: 2–128).
+	Processors int
+	// Machine selects SBM (with merging) or DBM.
+	Machine MachineKind
+	// Insertion selects conservative or optimal barrier insertion.
+	Insertion Insertion
+	// Ordering selects the list-ordering key.
+	Ordering Ordering
+	// Assignment selects the node-assignment policy.
+	Assignment Assignment
+	// Lookahead, when > 0, enables the section 5.4 lookahead ablation: the
+	// assignment step avoids claiming a processor whose last instruction
+	// is the producer of a node within the next Lookahead list entries.
+	Lookahead int
+	// Seed drives the random tie-breaks the paper calls for ("choose one
+	// at random"); runs are reproducible for a fixed seed.
+	Seed int64
+	// PathLimit bounds path enumeration in optimal insertion (0 = 64).
+	PathLimit int
+}
+
+// DefaultOptions returns the paper's default configuration on n processors.
+func DefaultOptions(n int) Options {
+	return Options{
+		Processors: n,
+		Machine:    SBM,
+		Insertion:  Conservative,
+		Ordering:   MaxHeightFirst,
+		Assignment: ListAssignment,
+	}
+}
+
+// Validate checks option ranges.
+func (o Options) Validate() error {
+	if o.Processors < 1 {
+		return fmt.Errorf("core: Processors = %d, need >= 1", o.Processors)
+	}
+	if o.Lookahead < 0 {
+		return fmt.Errorf("core: Lookahead = %d, need >= 0", o.Lookahead)
+	}
+	return nil
+}
+
+// newRNG builds the deterministic tie-break source for a run.
+func (o Options) newRNG() *rand.Rand {
+	return rand.New(rand.NewSource(o.Seed))
+}

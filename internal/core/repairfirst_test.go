@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"barriermimd/internal/dag"
+	"barriermimd/internal/ir"
+)
+
+// TestRepairFirstPath drives the "repair first" branch of barrier
+// insertion directly, with a hand-built scheduler state that no natural
+// schedule in the test corpus reaches:
+//
+//	P0: [ n0=Load a (g) , n1=Load b (g″) ]
+//	P1: [ n2=Add(n1,n1) (i″) ]          ← pending timing pair (n1, n2)
+//	placing i = n3=Add(n0,n0) on P1
+//
+// Resolving (n0, n3) needs a barrier, but every placement after n0/before
+// n3 structurally inverts the pending pair (n1, n2): its consumer n2 sits
+// before the new wait on P1 while its producer n1 sits after the new wait
+// on P0. The scheduler must protect (n1, n2) with its own barrier first;
+// that barrier then already orders (n0, n3) by PathFind, so no further
+// barrier is inserted.
+func TestRepairFirstPath(t *testing.T) {
+	b := &ir.Block{}
+	b.Append(ir.Tuple{Op: ir.Load, Var: "a", Args: [2]int{ir.NoArg, ir.NoArg}}) // 0 = g
+	b.Append(ir.Tuple{Op: ir.Load, Var: "b", Args: [2]int{ir.NoArg, ir.NoArg}}) // 1 = g″
+	b.Append(ir.Tuple{Op: ir.Add, Args: [2]int{1, 1}})                          // 2 = i″
+	b.Append(ir.Tuple{Op: ir.Add, Args: [2]int{0, 0}})                          // 3 = i
+	g, err := dag.Build(b, ir.DefaultTimings())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := DefaultOptions(2)
+	s := &scheduler{
+		g:       g,
+		opts:    opts,
+		rng:     opts.newRNG(),
+		procs:   make([][]Item, 2),
+		assign:  []int{-1, -1, -1, -1},
+		nodeIdx: []int{-1, -1, -1, -1},
+		parts:   map[int][]int{InitialBarrier: {0, 1}},
+		nextBar: 1,
+		dirty:   true,
+	}
+	s.appendNode(0, 0) // g on P0
+	s.appendNode(0, 1) // g″ on P0
+	s.appendNode(1, 2) // i″ on P1
+	s.timingPairs = []pairRec{{g: 1, i: 2}}
+
+	s.appendNode(1, 3) // place i on P1
+	if err := s.resolvePair(0, 3); err != nil {
+		t.Fatalf("resolvePair: %v", err)
+	}
+
+	// The pending pair must have been force-protected (its own barrier).
+	if s.mx.RepairedPairs == 0 {
+		t.Error("repair-first path not taken: RepairedPairs = 0")
+	}
+	if len(s.timingPairs) != 0 {
+		t.Errorf("pending pair not consumed: %v", s.timingPairs)
+	}
+
+	sched, err := s.finish()
+	if err != nil {
+		t.Fatalf("finish: %v", err)
+	}
+	if err := sched.VerifyStatic(); err != nil {
+		t.Fatalf("auditor rejects repaired schedule: %v", err)
+	}
+	// The protection barrier alone must order both pairs: one barrier,
+	// not two.
+	if sched.NumBarriers() != 1 {
+		t.Errorf("barriers = %d, want 1 (protection barrier orders both pairs)\n%s",
+			sched.NumBarriers(), sched.Render())
+	}
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"barriermimd/internal/bdag"
+	"barriermimd/internal/dag"
+	"barriermimd/internal/ir"
+)
+
+// Item is one slot in a processor timeline: either an instruction node of
+// the DAG or a wait on a barrier.
+type Item struct {
+	// Node is a DAG node index when IsBarrier is false.
+	Node int
+	// Barrier is a schedule-level barrier id when IsBarrier is true.
+	// Barrier 0 is the initial barrier, which is implicit at the head of
+	// every timeline and never appears as an Item.
+	Barrier int
+	// IsBarrier distinguishes the two cases.
+	IsBarrier bool
+}
+
+func (it Item) String() string {
+	if it.IsBarrier {
+		return fmt.Sprintf("wait(b%d)", it.Barrier)
+	}
+	return fmt.Sprintf("n%d", it.Node)
+}
+
+// InitialBarrier is the schedule-level id of the implicit initial barrier.
+const InitialBarrier = 0
+
+// Schedule is the result of scheduling one basic block on a barrier MIMD.
+type Schedule struct {
+	// Graph is the scheduled instruction DAG.
+	Graph *dag.Graph
+	// Opts are the options the schedule was produced with.
+	Opts Options
+	// Procs holds each processor's timeline. Every timeline implicitly
+	// starts with the initial barrier.
+	Procs [][]Item
+	// AssignTo maps each real DAG node to its processor.
+	AssignTo []int
+	// Participants maps each live barrier id (including InitialBarrier)
+	// to its sorted processor set.
+	Participants map[int][]int
+	// Barriers is the final barrier dag; BarrierNode maps schedule-level
+	// barrier ids to its node indices.
+	Barriers    *bdag.Graph
+	BarrierNode map[int]int
+	// Metrics summarizes the synchronization accounting.
+	Metrics Metrics
+}
+
+// NumBarriers returns the number of barriers inserted by the scheduler,
+// excluding the implicit initial barrier.
+func (s *Schedule) NumBarriers() int { return len(s.Participants) - 1 }
+
+// BarrierIDs returns the live barrier ids in ascending order, including
+// InitialBarrier.
+func (s *Schedule) BarrierIDs() []int {
+	ids := make([]int, 0, len(s.Participants))
+	for id := range s.Participants {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// StaticSpan returns the exact completion time of the schedule under
+// all-minimum and all-maximum instruction timings, derived from barrier
+// fire windows (the discrete-event simulator reproduces the same values).
+func (s *Schedule) StaticSpan() (min, max int, err error) {
+	fmin, fmax, err := s.Barriers.FireWindows()
+	if err != nil {
+		return 0, 0, err
+	}
+	tm := s.timingOf
+	for p := range s.Procs {
+		lastBar := InitialBarrier
+		dmin, dmax := 0, 0
+		for _, it := range s.Procs[p] {
+			if it.IsBarrier {
+				lastBar = it.Barrier
+				dmin, dmax = 0, 0
+				continue
+			}
+			t := tm(it.Node)
+			dmin += t.Min
+			dmax += t.Max
+		}
+		bn := s.BarrierNode[lastBar]
+		if end := fmin[bn] + dmin; end > min {
+			min = end
+		}
+		if end := fmax[bn] + dmax; end > max {
+			max = end
+		}
+	}
+	return min, max, nil
+}
+
+func (s *Schedule) timingOf(node int) ir.Timing { return s.Graph.Time[node] }
+
+// Validate checks structural invariants: every real node appears exactly
+// once, on the processor AssignTo claims; same-processor dependences are in
+// program order; barrier participant sets match the timelines that wait on
+// them.
+func (s *Schedule) Validate() error {
+	seen := make([]int, s.Graph.N)
+	pos := make(map[int]int)
+	for p, tl := range s.Procs {
+		for idx, it := range tl {
+			if it.IsBarrier {
+				found := false
+				for _, q := range s.Participants[it.Barrier] {
+					if q == p {
+						found = true
+					}
+				}
+				if !found {
+					return fmt.Errorf("core: processor %d waits on barrier %d it does not participate in", p, it.Barrier)
+				}
+				continue
+			}
+			n := it.Node
+			if n < 0 || n >= s.Graph.N {
+				return fmt.Errorf("core: timeline %d holds invalid node %d", p, n)
+			}
+			seen[n]++
+			if s.AssignTo[n] != p {
+				return fmt.Errorf("core: node %d on processor %d but AssignTo says %d", n, p, s.AssignTo[n])
+			}
+			pos[n] = idx
+		}
+	}
+	for n, c := range seen {
+		if c != 1 {
+			return fmt.Errorf("core: node %d scheduled %d times", n, c)
+		}
+	}
+	for _, e := range s.Graph.RealEdges() {
+		if s.AssignTo[e.From] == s.AssignTo[e.To] && pos[e.From] >= pos[e.To] {
+			return fmt.Errorf("core: same-processor edge %v out of order", e)
+		}
+	}
+	for id, parts := range s.Participants {
+		if id == InitialBarrier {
+			continue
+		}
+		waiting := 0
+		for _, tl := range s.Procs {
+			for _, it := range tl {
+				if it.IsBarrier && it.Barrier == id {
+					waiting++
+				}
+			}
+		}
+		if waiting != len(parts) {
+			return fmt.Errorf("core: barrier %d has %d participants but %d waits", id, len(parts), waiting)
+		}
+	}
+	return nil
+}
+
+// Render draws the schedule as a per-processor listing with barriers,
+// similar to the paper's barrier embedding figures rotated into text:
+//
+//	P0: n0 n3 | b1 | n7
+//	P1: n1 | b1 | n8 n9
+func (s *Schedule) Render() string {
+	var sb strings.Builder
+	for p, tl := range s.Procs {
+		fmt.Fprintf(&sb, "P%-3d:", p)
+		for _, it := range tl {
+			if it.IsBarrier {
+				fmt.Fprintf(&sb, " |b%d|", it.Barrier)
+			} else {
+				fmt.Fprintf(&sb, " %s", s.Graph.Block.Tuples[it.Node].Op)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "barriers: %d (plus initial)\n", s.NumBarriers())
+	return sb.String()
+}

@@ -1,0 +1,442 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"barriermimd/internal/bdag"
+	"barriermimd/internal/dag"
+	"barriermimd/internal/ir"
+)
+
+// ScheduleDAG schedules the instruction DAG g onto a barrier MIMD
+// according to opts, returning the complete schedule with its barrier dag
+// and metrics.
+func ScheduleDAG(g *dag.Graph, opts Options) (*Schedule, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	s := &scheduler{
+		g:       g,
+		opts:    opts,
+		rng:     opts.newRNG(),
+		procs:   make([][]Item, opts.Processors),
+		assign:  make([]int, g.N),
+		nodeIdx: make([]int, g.N),
+		parts:   map[int][]int{InitialBarrier: allProcs(opts.Processors)},
+		nextBar: 1,
+		dirty:   true,
+	}
+	for i := range s.assign {
+		s.assign[i] = -1
+		s.nodeIdx[i] = -1
+	}
+
+	order, err := s.listOrder()
+	if err != nil {
+		return nil, err
+	}
+	for k, n := range order {
+		if err := s.place(k, n, order); err != nil {
+			return nil, err
+		}
+	}
+	return s.finish()
+}
+
+func allProcs(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// pairRec is a producer/consumer DAG edge whose synchronization was
+// resolved by the static timing check and must be re-verified whenever
+// later barrier insertions or merges change the timing picture.
+type pairRec struct{ g, i int }
+
+type scheduler struct {
+	g    *dag.Graph
+	opts Options
+	rng  *rand.Rand
+
+	procs   [][]Item
+	assign  []int // node -> processor (-1 = unplaced)
+	nodeIdx []int // node -> index in its processor timeline
+	parts   map[int][]int
+	nextBar int
+
+	// Derived barrier-dag state, rebuilt lazily after mutations.
+	dirty bool
+	bg    *bdag.Graph
+	bnode map[int]int // schedule barrier id -> bdag node index
+	idom  []int
+
+	timingPairs []pairRec
+	mx          Metrics
+}
+
+// listOrder computes the scheduling list of section 4.2: real nodes sorted
+// by descending h_max, ties by descending h_min (or swapped under the
+// MinHeightFirst ablation), full ties broken randomly.
+func (s *scheduler) listOrder() ([]int, error) {
+	h, err := s.g.Heights()
+	if err != nil {
+		return nil, err
+	}
+	key1, key2 := h.Max, h.Min
+	if s.opts.Ordering == MinHeightFirst {
+		key1, key2 = h.Min, h.Max
+	}
+	nodes := make([]int, s.g.N)
+	for i := range nodes {
+		nodes[i] = i
+	}
+	sort.SliceStable(nodes, func(a, b int) bool {
+		na, nb := nodes[a], nodes[b]
+		if key1[na] != key1[nb] {
+			return key1[na] > key1[nb]
+		}
+		return key2[na] > key2[nb]
+	})
+	// Shuffle runs of full ties with the seeded RNG ("choose one at
+	// random" — section 4.3); the result stays a valid priority order.
+	for lo := 0; lo < len(nodes); {
+		hi := lo + 1
+		for hi < len(nodes) &&
+			key1[nodes[hi]] == key1[nodes[lo]] &&
+			key2[nodes[hi]] == key2[nodes[lo]] {
+			hi++
+		}
+		s.rng.Shuffle(hi-lo, func(a, b int) {
+			nodes[lo+a], nodes[lo+b] = nodes[lo+b], nodes[lo+a]
+		})
+		lo = hi
+	}
+	return nodes, nil
+}
+
+// realPreds returns i's non-dummy DAG predecessors.
+func (s *scheduler) realPreds(i int) []int {
+	var out []int
+	for _, p := range s.g.Preds(i) {
+		if !s.g.IsDummy(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// lastInstr returns the last instruction node on processor p, or -1.
+func (s *scheduler) lastInstr(p int) int {
+	tl := s.procs[p]
+	for k := len(tl) - 1; k >= 0; k-- {
+		if !tl[k].IsBarrier {
+			return tl[k].Node
+		}
+	}
+	return -1
+}
+
+// place assigns node n (the k-th list entry) to a processor and inserts
+// any barriers its cross-processor producers require.
+func (s *scheduler) place(k, n int, order []int) error {
+	var p int
+	var err error
+	switch s.opts.Assignment {
+	case RoundRobin:
+		p = k % s.opts.Processors
+	default:
+		p, err = s.chooseProcessor(k, n, order)
+		if err != nil {
+			return err
+		}
+	}
+	s.appendNode(p, n)
+
+	// Check every cross-processor producer, in ascending node order for
+	// determinism. Earlier insertions sharpen the timing of later checks
+	// (the Figure 7/8 secondary effect).
+	for _, g := range s.realPreds(n) {
+		if s.assign[g] == p {
+			continue // serialized
+		}
+		if err := s.resolvePair(g, n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chooseProcessor implements section 4.3 node assignment.
+func (s *scheduler) chooseProcessor(k, n int, order []int) (int, error) {
+	// Step [1]: serialization onto a producer processor whose last
+	// instruction is a predecessor of n.
+	var eligible []int
+	seen := make(map[int]bool)
+	for _, g := range s.realPreds(n) {
+		p := s.assign[g]
+		if p < 0 || seen[p] {
+			continue
+		}
+		seen[p] = true
+		if li := s.lastInstr(p); li >= 0 && s.isPred(li, n) {
+			eligible = append(eligible, p)
+		}
+	}
+	if len(eligible) == 1 {
+		return eligible[0], nil
+	}
+	if len(eligible) > 1 {
+		// Largest current maximum time (to possibly avoid a barrier);
+		// full ties broken at random.
+		best, bestMax, err := s.pickByEndTime(eligible, func(a, b int) bool { return a > b })
+		if err != nil {
+			return 0, err
+		}
+		_ = bestMax
+		return best, nil
+	}
+
+	// Step [2]: earliest possible start; ties at random. Under the
+	// lookahead ablation, avoid processors whose last instruction feeds a
+	// node inside the lookahead window (it may want to serialize there).
+	candidates := allProcs(s.opts.Processors)
+	if s.opts.Lookahead > 0 {
+		if filtered := s.lookaheadFilter(k, n, order, candidates); len(filtered) > 0 {
+			candidates = filtered
+		}
+	}
+	best, _, err := s.pickByEndTime(candidates, func(a, b int) bool { return a < b })
+	return best, err
+}
+
+// isPred reports whether g is a direct DAG predecessor of n.
+func (s *scheduler) isPred(g, n int) bool {
+	if _, ok := s.g.EdgeKind(g, n); ok {
+		return true
+	}
+	return false
+}
+
+// lookaheadFilter drops candidate processors whose last instruction is a
+// producer of some node within the next Lookahead list entries (section
+// 5.4 lookahead experiment).
+func (s *scheduler) lookaheadFilter(k, n int, order, candidates []int) []int {
+	windowEnd := k + 1 + s.opts.Lookahead
+	if windowEnd > len(order) {
+		windowEnd = len(order)
+	}
+	var out []int
+	for _, p := range candidates {
+		li := s.lastInstr(p)
+		blocked := false
+		if li >= 0 {
+			for _, w := range order[k+1 : windowEnd] {
+				if s.isPred(li, w) {
+					blocked = true
+					break
+				}
+			}
+		}
+		if !blocked {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// pickByEndTime selects among candidate processors by their current
+// maximum end time (then minimum end time), using better(a,b) to compare;
+// full ties are broken with the seeded RNG.
+func (s *scheduler) pickByEndTime(candidates []int, better func(a, b int) bool) (int, int, error) {
+	if err := s.ensureGraph(); err != nil {
+		return 0, 0, err
+	}
+	fmin, fmax, err := s.bg.FireWindows()
+	if err != nil {
+		return 0, 0, err
+	}
+	endMax := func(p int) int {
+		lb, _ := s.lastBarBefore(p, len(s.procs[p]))
+		return fmax[s.bnode[lb]] + s.deltaRange(p, len(s.procs[p]), true)
+	}
+	endMin := func(p int) int {
+		lb, _ := s.lastBarBefore(p, len(s.procs[p]))
+		return fmin[s.bnode[lb]] + s.deltaRange(p, len(s.procs[p]), false)
+	}
+	var ties []int
+	bestMax, bestMin := 0, 0
+	for _, p := range candidates {
+		em, en := endMax(p), endMin(p)
+		switch {
+		case len(ties) == 0 ||
+			better(em, bestMax) ||
+			(em == bestMax && better(en, bestMin)):
+			ties = []int{p}
+			bestMax, bestMin = em, en
+		case em == bestMax && en == bestMin:
+			ties = append(ties, p)
+		}
+	}
+	return ties[s.rng.Intn(len(ties))], bestMax, nil
+}
+
+// appendNode places node n at the end of processor p's timeline.
+func (s *scheduler) appendNode(p, n int) {
+	s.procs[p] = append(s.procs[p], Item{Node: n})
+	s.assign[n] = p
+	s.nodeIdx[n] = len(s.procs[p]) - 1
+	s.dirty = true
+}
+
+// buildBarrierGraph derives the barrier dag from per-processor timelines
+// and the barrier participant table: one node per live barrier, and one
+// region edge per consecutive barrier pair on a processor, with the
+// Figure 13 aggregation rule applied by bdag.AddRegion. Both the scheduler
+// and the independent Schedule.VerifyStatic auditor build their dag this
+// way, so they can never disagree about structure.
+func buildBarrierGraph(procs [][]Item, parts map[int][]int, times []ir.Timing) (*bdag.Graph, map[int]int, error) {
+	ids := make([]int, 0, len(parts))
+	for id := range parts {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	bg := bdag.New(parts[InitialBarrier])
+	bnode := map[int]int{InitialBarrier: bdag.Initial}
+	for _, id := range ids {
+		if id == InitialBarrier {
+			continue
+		}
+		bnode[id] = bg.AddBarrier(parts[id])
+	}
+	for p := range procs {
+		prev := bdag.Initial
+		acc := ir.Timing{}
+		for _, it := range procs[p] {
+			if !it.IsBarrier {
+				t := times[it.Node]
+				acc.Min += t.Min
+				acc.Max += t.Max
+				continue
+			}
+			bn, ok := bnode[it.Barrier]
+			if !ok {
+				return nil, nil, fmt.Errorf("core: timeline references dead barrier %d", it.Barrier)
+			}
+			bg.AddRegion(prev, bn, acc)
+			prev, acc = bn, ir.Timing{}
+		}
+	}
+	return bg, bnode, nil
+}
+
+// ensureGraph rebuilds the derived barrier dag from the timelines if any
+// mutation occurred since the last build. Rebuilding (rather than
+// incrementally patching) keeps insertion and merging simple and obviously
+// consistent; barrier dags are tiny.
+func (s *scheduler) ensureGraph() error {
+	if !s.dirty {
+		return nil
+	}
+	bg, bnode, err := buildBarrierGraph(s.procs, s.parts, s.g.Time)
+	if err != nil {
+		return err
+	}
+	idom, err := bg.Dominators()
+	if err != nil {
+		return fmt.Errorf("core: barrier dag is cyclic: %w", err)
+	}
+	s.bg, s.bnode, s.idom = bg, bnode, idom
+	s.dirty = false
+	return nil
+}
+
+// lastBarBefore returns the last barrier id before timeline index idx on
+// processor p (InitialBarrier if none) and the index just after it.
+func (s *scheduler) lastBarBefore(p, idx int) (bar, regionStart int) {
+	tl := s.procs[p]
+	for k := idx - 1; k >= 0; k-- {
+		if tl[k].IsBarrier {
+			return tl[k].Barrier, k + 1
+		}
+	}
+	return InitialBarrier, 0
+}
+
+// nextBarAfter returns the first barrier id at or after timeline index idx
+// on processor p, or -1.
+func (s *scheduler) nextBarAfter(p, idx int) int {
+	tl := s.procs[p]
+	for k := idx; k < len(tl); k++ {
+		if tl[k].IsBarrier {
+			return tl[k].Barrier
+		}
+	}
+	return -1
+}
+
+// deltaRange sums instruction times on processor p in the region from the
+// last barrier before idx up to (excluding) idx, under min or max times.
+func (s *scheduler) deltaRange(p, idx int, useMax bool) int {
+	_, start := s.lastBarBefore(p, idx)
+	sum := 0
+	for k := start; k < idx; k++ {
+		it := s.procs[p][k]
+		if it.IsBarrier {
+			continue // cannot happen: region is barrier-free by construction
+		}
+		t := s.g.Time[it.Node]
+		if useMax {
+			sum += t.Max
+		} else {
+			sum += t.Min
+		}
+	}
+	return sum
+}
+
+// reindex refreshes nodeIdx for processor p after an insertion.
+func (s *scheduler) reindex(p int) {
+	for k, it := range s.procs[p] {
+		if !it.IsBarrier {
+			s.nodeIdx[it.Node] = k
+		}
+	}
+}
+
+// finish freezes the scheduler state into a Schedule and computes metrics.
+func (s *scheduler) finish() (*Schedule, error) {
+	if err := s.ensureGraph(); err != nil {
+		return nil, err
+	}
+	s.mx.TotalImpliedSyncs = s.g.TotalImpliedSynchronizations()
+	s.mx.Barriers = len(s.parts) - 1
+	s.mx.SerializedSyncs = 0
+	for _, e := range s.g.RealEdges() {
+		if s.assign[e.From] == s.assign[e.To] {
+			s.mx.SerializedSyncs++
+		}
+	}
+	parts := make(map[int][]int, len(s.parts))
+	for id, ps := range s.parts {
+		parts[id] = append([]int(nil), ps...)
+	}
+	sched := &Schedule{
+		Graph:        s.g,
+		Opts:         s.opts,
+		Procs:        s.procs,
+		AssignTo:     s.assign,
+		Participants: parts,
+		Barriers:     s.bg,
+		BarrierNode:  s.bnode,
+		Metrics:      s.mx,
+	}
+	if err := sched.Validate(); err != nil {
+		return nil, err
+	}
+	return sched, nil
+}

@@ -1,0 +1,44 @@
+package core
+
+import "testing"
+
+// TestStressAllVariants schedules many random benchmarks under every
+// combination of machine, insertion, ordering, and assignment policy, and
+// validates every resulting schedule structurally.
+func TestStressAllVariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	machines := []MachineKind{SBM, DBM}
+	insertions := []Insertion{Conservative, Optimal}
+	orderings := []Ordering{MaxHeightFirst, MinHeightFirst}
+	assignments := []Assignment{ListAssignment, RoundRobin}
+	for seed := int64(0); seed < 8; seed++ {
+		for _, stmts := range []int{10, 40} {
+			g := synthGraph(t, stmts, 10, seed)
+			for _, mk := range machines {
+				for _, ins := range insertions {
+					for _, ord := range orderings {
+						for _, as := range assignments {
+							o := Options{
+								Processors: int(2 + seed%7),
+								Machine:    mk, Insertion: ins,
+								Ordering: ord, Assignment: as,
+								Seed: seed,
+							}
+							s, err := ScheduleDAG(g, o)
+							if err != nil {
+								t.Fatalf("seed=%d stmts=%d %v/%v/%v/%v: %v",
+									seed, stmts, mk, ins, ord, as, err)
+							}
+							if err := s.Validate(); err != nil {
+								t.Fatalf("seed=%d stmts=%d %v/%v/%v/%v: %v",
+									seed, stmts, mk, ins, ord, as, err)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package dag
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the instruction DAG in Graphviz dot format, matching the
+// paper's Figure 2 presentation: nodes labeled with their tuple text and
+// original numbering, flow edges solid, memory-ordering edges dashed,
+// dummy entry/exit shown as points.
+func (g *Graph) DOT() string {
+	var sb strings.Builder
+	sb.WriteString("digraph instruction_dag {\n")
+	sb.WriteString("  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n")
+	for i := 0; i < g.N; i++ {
+		// Render operand references as original tuple numbers, as the
+		// listings do.
+		disp := g.Block.Tuples[i]
+		for k := 0; k < disp.NumArgs(); k++ {
+			if !disp.IsImm[k] && disp.Args[k] != -1 {
+				disp.Args[k] = g.Block.ID(disp.Args[k])
+			}
+		}
+		fmt.Fprintf(&sb, "  n%d [label=\"%d: %s\\n[%d,%d]\"];\n",
+			i, g.Block.ID(i), escapeDot(disp.String()), g.Time[i].Min, g.Time[i].Max)
+	}
+	fmt.Fprintf(&sb, "  n%d [shape=point, label=\"\"];\n", g.Entry)
+	fmt.Fprintf(&sb, "  n%d [shape=point, label=\"\"];\n", g.Exit)
+	for _, e := range g.Edges() {
+		style := ""
+		if k, _ := g.EdgeKind(e.From, e.To); k == MemoryEdge {
+			style = " [style=dashed]"
+		}
+		if g.IsDummy(e.From) || g.IsDummy(e.To) {
+			style = " [style=dotted, color=gray]"
+		}
+		fmt.Fprintf(&sb, "  n%d -> n%d%s;\n", e.From, e.To, style)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func escapeDot(s string) string {
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

@@ -1,0 +1,204 @@
+package dag
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"barriermimd/internal/ir"
+)
+
+// randomBlock builds a structurally valid random block from a seed:
+// random loads, stores, and binary ops over earlier value-producing
+// tuples.
+func randomBlock(seed int64) *ir.Block {
+	rng := rand.New(rand.NewSource(seed))
+	b := &ir.Block{}
+	vars := []string{"a", "b", "c", "d", "e"}
+	var values []int // positions of value-producing tuples
+	n := 5 + rng.Intn(40)
+	for i := 0; i < n; i++ {
+		switch {
+		case len(values) < 2 || rng.Intn(4) == 0:
+			pos := b.Append(ir.Tuple{Op: ir.Load, Var: vars[rng.Intn(len(vars))], Args: [2]int{ir.NoArg, ir.NoArg}})
+			values = append(values, pos)
+		case rng.Intn(3) == 0:
+			b.Append(ir.Tuple{Op: ir.Store, Var: vars[rng.Intn(len(vars))],
+				Args: [2]int{values[rng.Intn(len(values))], ir.NoArg}})
+		default:
+			ops := []ir.Op{ir.Add, ir.Sub, ir.And, ir.Or, ir.Mul, ir.Div, ir.Mod}
+			pos := b.Append(ir.Tuple{Op: ops[rng.Intn(len(ops))],
+				Args: [2]int{values[rng.Intn(len(values))], values[rng.Intn(len(values))]}})
+			values = append(values, pos)
+		}
+	}
+	return b
+}
+
+func TestQuickRandomBlocksBuild(t *testing.T) {
+	f := func(seed int64) bool {
+		b := randomBlock(seed)
+		if b.Validate() != nil {
+			return false
+		}
+		g, err := Build(b, ir.DefaultTimings())
+		if err != nil {
+			return false
+		}
+		_, err = g.Topo()
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickHeightInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		g, err := Build(randomBlock(seed), ir.DefaultTimings())
+		if err != nil {
+			return false
+		}
+		h, err := g.Heights()
+		if err != nil {
+			return false
+		}
+		for i := range h.Min {
+			// Heights include the node's own time: real nodes have
+			// h_min >= t_min >= 1, and h_min <= h_max everywhere.
+			if h.Min[i] > h.Max[i] {
+				return false
+			}
+			if !g.IsDummy(i) && h.Min[i] < g.Time[i].Min {
+				return false
+			}
+		}
+		// h(pred) >= t(pred) + h(succ) along every edge.
+		for _, e := range g.Edges() {
+			if h.Min[e.From] < g.Time[e.From].Min+h.Min[e.To] {
+				return false
+			}
+			if h.Max[e.From] < g.Time[e.From].Max+h.Max[e.To] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFinishTimeInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		g, err := Build(randomBlock(seed), ir.DefaultTimings())
+		if err != nil {
+			return false
+		}
+		ft, err := g.FinishTimes()
+		if err != nil {
+			return false
+		}
+		for _, e := range g.Edges() {
+			// A consumer finishes at least its own minimum time after
+			// its producer's earliest finish.
+			if ft.Min[e.To] < ft.Min[e.From]+g.Time[e.To].Min {
+				return false
+			}
+			if ft.Max[e.To] < ft.Max[e.From]+g.Time[e.To].Max {
+				return false
+			}
+		}
+		// Exit node finish equals the critical path.
+		cmin, cmax, err := g.CriticalPath()
+		if err != nil {
+			return false
+		}
+		return ft.Min[g.Exit] == cmin && ft.Max[g.Exit] == cmax
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTransitiveReductionSound(t *testing.T) {
+	f := func(seed int64) bool {
+		g, err := Build(randomBlock(seed), ir.DefaultTimings())
+		if err != nil {
+			return false
+		}
+		kept := make(map[Edge]bool)
+		for _, e := range g.TransitiveReduction() {
+			kept[e] = true
+		}
+		// Every removed edge must still be implied by a remaining path;
+		// reachability on the reduced edge set must equal the original.
+		succs := make(map[int][]int)
+		for e := range kept {
+			succs[e.From] = append(succs[e.From], e.To)
+		}
+		reach := func(from, to int) bool {
+			seen := map[int]bool{from: true}
+			stack := []int{from}
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if x == to {
+					return true
+				}
+				for _, s := range succs[x] {
+					if !seen[s] {
+						seen[s] = true
+						stack = append(stack, s)
+					}
+				}
+			}
+			return false
+		}
+		for _, e := range g.Edges() {
+			if !kept[e] && !reach(e.From, e.To) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickHasPathConsistentWithTopo(t *testing.T) {
+	f := func(seed int64) bool {
+		g, err := Build(randomBlock(seed), ir.DefaultTimings())
+		if err != nil {
+			return false
+		}
+		order, err := g.Topo()
+		if err != nil {
+			return false
+		}
+		pos := make(map[int]int)
+		for k, v := range order {
+			pos[v] = k
+		}
+		// A path from u to v implies pos[u] < pos[v]; no path both ways.
+		rng := rand.New(rand.NewSource(seed))
+		for trial := 0; trial < 20; trial++ {
+			u := rng.Intn(len(order))
+			v := rng.Intn(len(order))
+			if u == v {
+				continue
+			}
+			if g.HasPath(u, v) && g.HasPath(v, u) {
+				return false
+			}
+			if g.HasPath(u, v) && pos[u] >= pos[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,432 @@
+package exp
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// small is a fast configuration for tests; experiments remain meaningful
+// at reduced population sizes because the generator is low-variance.
+var small = Config{Runs: 12, Seed: 1}
+
+func TestTable1FrequenciesClose(t *testing.T) {
+	r, err := Table1(Config{Runs: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for op, want := range r.Target {
+		got := r.Observed[op]
+		if math.Abs(got-want) > 0.03 {
+			t.Errorf("%v frequency %.3f, want %.3f ± 0.03", op, got, want)
+		}
+	}
+	out := r.Render()
+	for _, want := range []string{"Table 1", "Load", "Mul", "45.8%", "Max. Time"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestFig14HeadlineRanges(t *testing.T) {
+	r, err := Fig14(Config{Runs: 30, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Syncs) != 30 {
+		t.Fatalf("population %d, want 30", len(r.Syncs))
+	}
+	for _, tis := range r.Syncs {
+		if tis < 65 || tis > 132 {
+			t.Errorf("benchmark outside sync band: %d", tis)
+		}
+	}
+	// Section 5 headline: most synchronizations need no runtime sync.
+	if r.NoRuntimeSync.Mean < 0.70 {
+		t.Errorf("mean serialized+static = %.3f, want > 0.70 (paper: ~0.85, >0.77)", r.NoRuntimeSync.Mean)
+	}
+	// Fractions inside plausible bands (paper: barrier 3–23%,
+	// serialized 50–90%, static 8–40%) — allow slack for our generator.
+	for i := range r.BarrierFrac {
+		if r.BarrierFrac[i] < 0 || r.BarrierFrac[i] > 0.35 {
+			t.Errorf("barrier fraction %.3f out of band", r.BarrierFrac[i])
+		}
+	}
+	if !strings.Contains(r.Render(), "Figure 14") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig15Shape(t *testing.T) {
+	r, err := Fig15(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, by := r.Barrier.Means()
+	_, sy := r.Serial.Means()
+	// Barrier fraction decreases from 5 to 60 statements; serialization
+	// decreases as benchmarks grow (section 5.1).
+	if by[0] <= by[len(by)-1] {
+		t.Errorf("barrier fraction did not fall with statements: %v", by)
+	}
+	if sy[0] <= sy[len(sy)-1] {
+		t.Errorf("serialized fraction did not fall with statements: %v", sy)
+	}
+	if !strings.Contains(r.Render(), "Figure 15") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFig16Shape(t *testing.T) {
+	r, err := Fig16(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bx, by := r.Barrier.Means()
+	_, sy := r.Serial.Means()
+	// Barrier fraction rises from 2 variables toward the plateau;
+	// serialization falls as parallelism width grows (section 5.2).
+	if by[0] >= by[len(by)-1] {
+		t.Errorf("barrier fraction did not rise with variables: %v (x=%v)", by, bx)
+	}
+	if sy[0] <= sy[len(sy)-1] {
+		t.Errorf("serialized fraction did not fall with variables: %v", sy)
+	}
+}
+
+func TestFig17Shape(t *testing.T) {
+	r, err := Fig17(Config{Runs: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, by := r.Barrier.Means()
+	// Barrier fraction rises while processors < parallelism width, then
+	// plateaus: the last three points (32/64/128 PEs) must be close.
+	if by[0] >= by[2] {
+		t.Errorf("barrier fraction did not rise from 2 to 8 processors: %v", by)
+	}
+	last := by[len(by)-1]
+	for _, v := range by[len(by)-3:] {
+		if math.Abs(v-last) > 0.05 {
+			t.Errorf("barrier fraction did not plateau: %v", by)
+		}
+	}
+}
+
+func TestFig18Shape(t *testing.T) {
+	r, err := Fig18(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, my := r.BarrierMax.Means()
+	_, ny := r.BarrierMin.Means()
+	for i := range my {
+		if ny[i] >= my[i] {
+			t.Errorf("min ratio %.3f not below max ratio %.3f", ny[i], my[i])
+		}
+	}
+	// On ample processors: max ≈ VLIW, min meaningfully below.
+	lastMax, lastMin := my[len(my)-1], ny[len(ny)-1]
+	if lastMax < 0.85 || lastMax > 1.25 {
+		t.Errorf("barrier max / VLIW = %.3f, want ≈ 1", lastMax)
+	}
+	if lastMin > 0.92 {
+		t.Errorf("barrier min / VLIW = %.3f, want meaningfully below 1", lastMin)
+	}
+	if !strings.Contains(r.Render(), "Figure 18") {
+		t.Error("render missing title")
+	}
+}
+
+func TestMergeReduction(t *testing.T) {
+	r, err := Merge(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Reduction <= 0.05 {
+		t.Errorf("merge reduction %.3f, want clearly positive (paper: 0.35)", r.Reduction)
+	}
+	if r.SBMBarriers.Mean > r.DBMBarriers.Mean {
+		t.Error("SBM has more barriers than DBM")
+	}
+	// Merging trades barrier count for completion time: SBM max span is
+	// at least DBM's ("quite close" per the paper).
+	if r.SBMMaxSpan.Mean < r.DBMMaxSpan.Mean-1e-9 {
+		t.Errorf("SBM max span %.1f below DBM %.1f", r.SBMMaxSpan.Mean, r.DBMMaxSpan.Mean)
+	}
+	// Merging produces wider barriers (more participants each).
+	if r.SBMWidth.Mean <= r.DBMWidth.Mean {
+		t.Errorf("SBM barrier width %.2f not above DBM %.2f", r.SBMWidth.Mean, r.DBMWidth.Mean)
+	}
+	if !strings.Contains(r.Render(), "Merging") {
+		t.Error("render missing title")
+	}
+}
+
+func TestHeuristicsAblation(t *testing.T) {
+	r, err := Heuristics(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]HeuristicRow{}
+	for _, row := range r.Rows {
+		rows[row.Name] = row
+	}
+	list := rows["list (paper)"]
+	rr := rows["round-robin"]
+	if rr.Serialized.Mean >= list.Serialized.Mean {
+		t.Errorf("round-robin serialization %.3f not below list %.3f", rr.Serialized.Mean, list.Serialized.Mean)
+	}
+	if rr.Barrier.Mean <= list.Barrier.Mean {
+		t.Errorf("round-robin barrier %.3f not above list %.3f", rr.Barrier.Mean, list.Barrier.Mean)
+	}
+	la := rows["lookahead-5"]
+	if la.Serialized.Mean < list.Serialized.Mean-0.05 {
+		t.Errorf("lookahead dropped serialization: %.3f vs %.3f", la.Serialized.Mean, list.Serialized.Mean)
+	}
+	tv := rows["timing-var x3"]
+	// "The barrier sync fraction was not very sensitive to increases in
+	// instruction timing variation."
+	if math.Abs(tv.Barrier.Mean-list.Barrier.Mean) > 0.12 {
+		t.Errorf("timing variation moved barrier fraction too much: %.3f vs %.3f", tv.Barrier.Mean, list.Barrier.Mean)
+	}
+	if !strings.Contains(r.Render(), "Heuristics") {
+		t.Error("render missing title")
+	}
+}
+
+func TestOptimalExperiment(t *testing.T) {
+	r, err := Optimal(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.OptBarriers.Mean > r.ConsBarriers.Mean {
+		t.Errorf("optimal barriers %.2f above conservative %.2f", r.OptBarriers.Mean, r.ConsBarriers.Mean)
+	}
+	if r.NaiveBarriers.Mean <= r.ConsBarriers.Mean {
+		t.Errorf("naive barriers %.2f not above conservative %.2f", r.NaiveBarriers.Mean, r.ConsBarriers.Mean)
+	}
+	if !strings.Contains(r.Render(), "Insertion Algorithms") {
+		t.Error("render missing title")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	if len(names) != 14 {
+		t.Fatalf("registry has %d experiments: %v", len(names), names)
+	}
+	for _, n := range names {
+		if Describe(n) == "" {
+			t.Errorf("experiment %q has no description", n)
+		}
+	}
+	if _, err := Run("nope", small); err == nil {
+		t.Error("Run accepted unknown experiment")
+	}
+	r, err := Run("table1", Config{Runs: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Render() == "" {
+		t.Error("empty render from registry run")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Runs != 100 {
+		t.Errorf("default Runs = %d, want 100", c.Runs)
+	}
+}
+
+func TestSeedAtDistinct(t *testing.T) {
+	c := Config{Seed: 5}
+	seen := map[int64]bool{}
+	for k := 0; k < 5; k++ {
+		for r := 0; r < 100; r++ {
+			s := c.seedAt(k, r)
+			if seen[s] {
+				t.Fatalf("duplicate seed %d at (%d,%d)", s, k, r)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestMIMDComparison(t *testing.T) {
+	r, err := MIMD(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ReducedSyncs.Mean > r.NaiveSyncs.Mean {
+		t.Errorf("reduction increased syncs: %.1f vs %.1f", r.ReducedSyncs.Mean, r.NaiveSyncs.Mean)
+	}
+	if r.Barriers.Mean >= r.ReducedSyncs.Mean {
+		t.Errorf("barriers %.1f not below reduced syncs %.1f", r.Barriers.Mean, r.ReducedSyncs.Mean)
+	}
+	// The >77% headline: barriers eliminate most conventional sync ops.
+	elim := 1 - r.Barriers.Mean/r.NaiveSyncs.Mean
+	if elim < 0.5 {
+		t.Errorf("only %.1f%% of conventional syncs eliminated", 100*elim)
+	}
+	// The barrier machine, with free barriers, should not be slower than
+	// the conventional machine paying send+latency per sync.
+	if r.BarrierTime.Mean > r.NaiveTime.Mean {
+		t.Errorf("barrier completion %.1f above conventional %.1f", r.BarrierTime.Mean, r.NaiveTime.Mean)
+	}
+	if !strings.Contains(r.Render(), "Conventional MIMD") {
+		t.Error("render missing title")
+	}
+}
+
+func TestBarrierCostSensitivity(t *testing.T) {
+	r, err := BarrierCost(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ys := r.Completion.Means()
+	for i := 1; i < len(ys); i++ {
+		if ys[i] < ys[i-1] {
+			t.Errorf("completion fell as barrier cost rose: %v", ys)
+		}
+	}
+	if ys[len(ys)-1] <= ys[0] {
+		t.Errorf("16-cycle barriers did not slow execution: %v", ys)
+	}
+	if !strings.Contains(r.Render(), "sensitivity") {
+		t.Error("render missing title")
+	}
+}
+
+func TestStudyRanges(t *testing.T) {
+	r, err := Study(Config{Runs: 4, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Configurations != 64 {
+		t.Errorf("configurations = %d, want 64", r.Configurations)
+	}
+	if r.Benchmarks < 200 {
+		t.Errorf("benchmarks = %d", r.Benchmarks)
+	}
+	// The paper's global shape: the measured ranges must be wide (small
+	// benchmarks on few processors barely barrier; wide ones on many
+	// processors barrier heavily) and the headline must hold on average.
+	if r.Barrier.Max-r.Barrier.Min < 0.10 {
+		t.Errorf("barrier range too narrow: [%f,%f]", r.Barrier.Min, r.Barrier.Max)
+	}
+	if r.Serialized.Max-r.Serialized.Min < 0.20 {
+		t.Errorf("serialized range too narrow: [%f,%f]", r.Serialized.Min, r.Serialized.Max)
+	}
+	if r.NoRuntimeSync.Mean < 0.70 {
+		t.Errorf("mean no-runtime-sync = %.3f, want > 0.70", r.NoRuntimeSync.Mean)
+	}
+	if !strings.Contains(r.Render(), "whole-study") {
+		t.Error("render missing title")
+	}
+}
+
+func TestLookaheadSweep(t *testing.T) {
+	r, err := Lookahead(Config{Runs: 6, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Serial) != len(r.Windows) || len(r.Serial[0]) != len(r.Processors) {
+		t.Fatalf("matrix shape wrong")
+	}
+	// Serialization with a window must not be materially below window 0
+	// (the filter only protects serialization opportunities).
+	for wi := 1; wi < len(r.Windows); wi++ {
+		for pi := range r.Processors {
+			if r.Serial[wi][pi].Mean < r.Serial[0][pi].Mean-0.08 {
+				t.Errorf("window %d procs %d: serialization dropped %.3f -> %.3f",
+					r.Windows[wi], r.Processors[pi], r.Serial[0][pi].Mean, r.Serial[wi][pi].Mean)
+			}
+		}
+	}
+	if !strings.Contains(r.Render(), "Lookahead") {
+		t.Error("render missing title")
+	}
+}
+
+func TestCSVOutputs(t *testing.T) {
+	f15, err := Fig15(Config{Runs: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(f15.CSV(), "statements,barrier,serialized,static\n") {
+		t.Errorf("fig15 csv header:\n%.80s", f15.CSV())
+	}
+	f18, err := Fig18(Config{Runs: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f18.CSV(), "barrier_max_norm") {
+		t.Errorf("fig18 csv header:\n%.80s", f18.CSV())
+	}
+	f14, err := Fig14(Config{Runs: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(f14.CSV(), "\n") != 4 { // header + 3 benchmarks
+		t.Errorf("fig14 csv rows:\n%s", f14.CSV())
+	}
+}
+
+func TestParallelExperimentsDeterministic(t *testing.T) {
+	// Experiments run their benchmark populations across GOMAXPROCS
+	// workers; results must be bit-identical across runs.
+	for _, name := range []string{"fig15", "fig18", "merge", "mimd", "fig14"} {
+		r1, err := Run(name, Config{Runs: 6, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := Run(name, Config{Runs: 6, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Render() != r2.Render() {
+			t.Errorf("%s: parallel runs differ", name)
+		}
+	}
+}
+
+func TestForEachErrorPropagates(t *testing.T) {
+	err := forEach(100, func(i int) error {
+		if i == 37 {
+			return errTest
+		}
+		return nil
+	})
+	if err != errTest {
+		t.Errorf("err = %v, want errTest", err)
+	}
+	if err := forEach(0, func(int) error { return nil }); err != nil {
+		t.Errorf("empty forEach: %v", err)
+	}
+	if err := forEach(1, func(int) error { return nil }); err != nil {
+		t.Errorf("single forEach: %v", err)
+	}
+}
+
+func TestCFStudy(t *testing.T) {
+	r, err := CFStudy(Config{Runs: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Blocks.Mean < 1 {
+		t.Errorf("blocks mean %.2f", r.Blocks.Mean)
+	}
+	if r.NoRuntimeSync.Mean < 0.5 {
+		t.Errorf("no-runtime-sync %.3f too low", r.NoRuntimeSync.Mean)
+	}
+	if r.ControlBarriers.Mean != r.DynamicBlocks.Mean-1 {
+		t.Errorf("control barriers %.2f != dynamic blocks - 1 (%.2f)",
+			r.ControlBarriers.Mean, r.DynamicBlocks.Mean-1)
+	}
+	if !strings.Contains(r.Render(), "Control-flow extension") {
+		t.Error("render missing title")
+	}
+}

@@ -1,0 +1,78 @@
+// Package exp reproduces every table and figure of the paper's evaluation
+// (sections 2, 5 and 6): Table 1 (instruction mix), Figure 14 (scatter of
+// serialized vs statically scheduled fractions), Figures 15–17 (sync
+// fractions vs statements, variables, and processors), Figure 18 (VLIW vs
+// barrier MIMD completion time), the section 4.4.3 merging statistic, and
+// the section 5.4 heuristic ablations.
+//
+// One hundred synthetic benchmarks are generated per parameter point and
+// averaged, exactly as in the paper; Config.Runs scales this down for quick
+// runs. All results are deterministic in Config.Seed.
+package exp
+
+import (
+	"barriermimd/internal/core"
+	"barriermimd/internal/dag"
+	"barriermimd/internal/ir"
+	"barriermimd/internal/lang"
+	"barriermimd/internal/opt"
+	"barriermimd/internal/synth"
+	"fmt"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Runs is the number of benchmarks per parameter point (paper: 100).
+	Runs int
+	// Seed is the base seed; benchmark seeds derive from it.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Runs == 0 {
+		c.Runs = 100
+	}
+	return c
+}
+
+// BuildDAG runs the benchmark pipeline: synthesize → compile → optimize →
+// instruction DAG, under the Table 1 timing model.
+func BuildDAG(stmts, vars int, seed int64) (*dag.Graph, error) {
+	return BuildDAGTimed(stmts, vars, seed, ir.DefaultTimings())
+}
+
+// BuildDAGTimed is BuildDAG with an explicit timing model (used by the
+// instruction-timing-variation ablation).
+func BuildDAGTimed(stmts, vars int, seed int64, tm ir.TimingModel) (*dag.Graph, error) {
+	prog, err := synth.Generate(synth.Config{Statements: stmts, Variables: vars}, seed)
+	if err != nil {
+		return nil, err
+	}
+	naive, err := lang.Compile(prog)
+	if err != nil {
+		return nil, err
+	}
+	optb, _, err := opt.Optimize(naive)
+	if err != nil {
+		return nil, err
+	}
+	return dag.Build(optb, tm)
+}
+
+// ScheduleOne builds and schedules one benchmark, returning its schedule.
+func ScheduleOne(stmts, vars int, seed int64, opts core.Options) (*core.Schedule, error) {
+	g, err := BuildDAG(stmts, vars, seed)
+	if err != nil {
+		return nil, err
+	}
+	opts.Seed = seed
+	return core.ScheduleDAG(g, opts)
+}
+
+// seedAt derives the benchmark seed for run r at sweep position k.
+func (c Config) seedAt(k, r int) int64 {
+	return c.Seed + int64(k)*1_000_003 + int64(r)
+}
+
+// errTest supports the forEach unit test.
+var errTest = fmt.Errorf("test error")

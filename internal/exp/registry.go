@@ -1,0 +1,71 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Renderer is a finished experiment that can format itself for the
+// terminal and EXPERIMENTS.md.
+type Renderer interface {
+	Render() string
+}
+
+// runner adapts one experiment constructor.
+type runner struct {
+	run   func(Config) (Renderer, error)
+	about string
+}
+
+var registry = map[string]runner{
+	"table1": {func(c Config) (Renderer, error) { return Table1(c) },
+		"Table 1: instruction frequencies and timing ranges"},
+	"fig14": {func(c Config) (Renderer, error) { return Fig14(c) },
+		"Figure 14: serialized vs static scatter + section 5 headline ranges"},
+	"fig15": {func(c Config) (Renderer, error) { return Fig15(c) },
+		"Figure 15: sync fractions vs statements (8 PEs, 15 vars)"},
+	"fig16": {func(c Config) (Renderer, error) { return Fig16(c) },
+		"Figure 16: sync fractions vs variables (8 PEs, 60 stmts)"},
+	"fig17": {func(c Config) (Renderer, error) { return Fig17(c) },
+		"Figure 17: sync fractions vs processors (100 stmts, 10 vars)"},
+	"fig18": {func(c Config) (Renderer, error) { return Fig18(c) },
+		"Figure 18: VLIW vs barrier MIMD completion time"},
+	"merge": {func(c Config) (Renderer, error) { return Merge(c) },
+		"Section 4.4.3: barrier merging ablation (80 stmts, 10 vars)"},
+	"heuristics": {func(c Config) (Renderer, error) { return Heuristics(c) },
+		"Section 5.4: assignment/ordering/lookahead/timing ablations"},
+	"optimal": {func(c Config) (Renderer, error) { return Optimal(c) },
+		"Section 4.4.2: optimal vs conservative insertion"},
+	"mimd": {func(c Config) (Renderer, error) { return MIMD(c) },
+		"Extension: conventional MIMD directed syncs vs barrier MIMD"},
+	"barriercost": {func(c Config) (Renderer, error) { return BarrierCost(c) },
+		"Extension: completion-time sensitivity to barrier hardware latency"},
+	"study": {func(c Config) (Renderer, error) { return Study(c) },
+		"Section 5 whole-study summary: full parameter grid, global fraction ranges"},
+	"lookahead": {func(c Config) (Renderer, error) { return Lookahead(c) },
+		"Section 5.4: lookahead window sweep (serialization vs completion time)"},
+	"cfstudy": {func(c Config) (Renderer, error) { return CFStudy(c) },
+		"Extension: control-flow programs — per-block scheduling + control barriers"},
+}
+
+// Names lists the registered experiments in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Describe returns the one-line description of an experiment.
+func Describe(name string) string { return registry[name].about }
+
+// Run executes a registered experiment by name.
+func Run(name string, cfg Config) (Renderer, error) {
+	r, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown experiment %q (have %v)", name, Names())
+	}
+	return r.run(cfg)
+}

@@ -1,0 +1,78 @@
+package ir
+
+import "fmt"
+
+// Memory is a variable store used by the evaluator. A nil entry lookup
+// yields zero, mirroring uninitialized memory with a defined value so that
+// evaluation is total.
+type Memory map[string]int64
+
+// Clone returns a copy of m (nil-safe).
+func (m Memory) Clone() Memory {
+	out := make(Memory, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// EvalOp applies a binary benchmark operation to two values. Division and
+// modulus by zero are defined to yield zero so that the semantics are total;
+// the synthetic generator, the optimizer's constant folder and the
+// correctness property tests all share this convention.
+func EvalOp(op Op, a, b int64) (int64, error) {
+	switch op {
+	case Add:
+		return a + b, nil
+	case Sub:
+		return a - b, nil
+	case And:
+		return a & b, nil
+	case Or:
+		return a | b, nil
+	case Mul:
+		return a * b, nil
+	case Div:
+		if b == 0 {
+			return 0, nil
+		}
+		return a / b, nil
+	case Mod:
+		if b == 0 {
+			return 0, nil
+		}
+		return a % b, nil
+	}
+	return 0, fmt.Errorf("ir: EvalOp on non-binary op %v", op)
+}
+
+// Eval executes the block against a copy of the given initial memory and
+// returns the final memory. It is the semantic reference used to verify
+// that optimization and scheduling preserve program meaning.
+func (b *Block) Eval(initial Memory) (Memory, error) {
+	mem := initial.Clone()
+	vals := make([]int64, len(b.Tuples))
+	arg := func(t Tuple, k int) int64 {
+		if t.IsImm[k] {
+			return t.Imm[k]
+		}
+		return vals[t.Args[k]]
+	}
+	for i, t := range b.Tuples {
+		switch {
+		case t.Op == Load:
+			vals[i] = mem[t.Var]
+		case t.Op == Store:
+			mem[t.Var] = arg(t, 0)
+		case t.Op.IsBinary():
+			v, err := EvalOp(t.Op, arg(t, 0), arg(t, 1))
+			if err != nil {
+				return nil, fmt.Errorf("tuple %d: %w", i, err)
+			}
+			vals[i] = v
+		default:
+			return nil, fmt.Errorf("ir: tuple %d has unexecutable op %v", i, t.Op)
+		}
+	}
+	return mem, nil
+}

@@ -1,0 +1,127 @@
+package ir
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEvalSimpleBlock(t *testing.T) {
+	b := mkBlock() // z = x + y
+	mem, err := b.Eval(Memory{"x": 3, "y": 4})
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	if mem["z"] != 7 {
+		t.Errorf("z = %d, want 7", mem["z"])
+	}
+	if mem["x"] != 3 || mem["y"] != 4 {
+		t.Errorf("inputs mutated: %v", mem)
+	}
+}
+
+func TestEvalDoesNotMutateInitialMemory(t *testing.T) {
+	init := Memory{"x": 1, "y": 2}
+	if _, err := mkBlock().Eval(init); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := init["z"]; ok {
+		t.Error("Eval mutated the caller's memory")
+	}
+}
+
+func TestEvalUninitializedReadsZero(t *testing.T) {
+	mem, err := mkBlock().Eval(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem["z"] != 0 {
+		t.Errorf("z = %d, want 0", mem["z"])
+	}
+}
+
+func TestEvalImmediates(t *testing.T) {
+	b := &Block{}
+	b.Append(Tuple{Op: Load, Var: "x", Args: [2]int{NoArg, NoArg}})
+	b.Append(Tuple{Op: Mul, Args: [2]int{0, NoArg}, IsImm: [2]bool{false, true}, Imm: [2]int64{0, 10}})
+	b.Append(Tuple{Op: Store, Var: "y", Args: [2]int{1, NoArg}})
+	b.Append(Tuple{Op: Store, Var: "k", IsImm: [2]bool{true, false}, Imm: [2]int64{-5, 0}, Args: [2]int{NoArg, NoArg}})
+	mem, err := b.Eval(Memory{"x": 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem["y"] != 60 || mem["k"] != -5 {
+		t.Errorf("mem = %v, want y=60 k=-5", mem)
+	}
+}
+
+func TestEvalFig1(t *testing.T) {
+	// Hand-computed semantics of the Figure 1 block:
+	//   b = i + a; h = f & d; e = h - f; g = c + e;
+	//   i = (f + j) - i; a = a + b (using the pre-store value of b's RHS).
+	in := Memory{"i": 2, "a": 3, "f": 12, "d": 10, "j": 5, "c": 100}
+	mem, err := Fig1Block().Eval(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int64{
+		"b": 5,       // i+a
+		"h": 12 & 10, // f&d = 8
+		"e": 8 - 12,  // h-f = -4
+		"g": 100 - 4, // c+e = 96
+		"i": 12 + 5 - 2,
+		"a": 3 + 5,
+	}
+	for v, w := range want {
+		if mem[v] != w {
+			t.Errorf("%s = %d, want %d", v, mem[v], w)
+		}
+	}
+}
+
+func TestEvalRejectsInvalidOp(t *testing.T) {
+	b := &Block{Tuples: []Tuple{{Op: Nop}}}
+	if _, err := b.Eval(nil); err == nil {
+		t.Error("Eval accepted Nop")
+	}
+}
+
+func TestMemoryClone(t *testing.T) {
+	m := Memory{"a": 1}
+	c := m.Clone()
+	c["a"] = 2
+	c["b"] = 3
+	if m["a"] != 1 {
+		t.Error("Clone shares storage")
+	}
+	if _, ok := m["b"]; ok {
+		t.Error("Clone shares storage (new key)")
+	}
+	var nilMem Memory
+	if c := nilMem.Clone(); c == nil || len(c) != 0 {
+		t.Error("Clone(nil) should return empty non-nil memory")
+	}
+}
+
+func TestEvalDeterministic(t *testing.T) {
+	// Property: evaluation is a pure function of the initial memory.
+	f := func(i, a, fv, d, j, c int64) bool {
+		in := Memory{"i": i, "a": a, "f": fv, "d": d, "j": j, "c": c}
+		m1, err1 := Fig1Block().Eval(in)
+		m2, err2 := Fig1Block().Eval(in)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if len(m1) != len(m2) {
+			return false
+		}
+		for k, v := range m1 {
+			if m2[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

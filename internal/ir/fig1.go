@@ -1,0 +1,69 @@
+package ir
+
+// Fig1Block returns the example synthetic benchmark of Figure 1 of the
+// paper, with the original (post-optimizer) tuple numbering preserved in
+// IDs. Its DAG is Figure 2, and the published minimum/maximum finish times
+// on infinite processors are reproduced by dag.FinishTimes — see the golden
+// test in internal/dag.
+func Fig1Block() *Block {
+	type row struct {
+		id   int
+		op   Op
+		v    string
+		a, b int // display-ID operands; NoArg when unused
+	}
+	rows := []row{
+		{0, Load, "i", NoArg, NoArg},
+		{1, Load, "a", NoArg, NoArg},
+		{2, Add, "", 0, 1},
+		{3, Store, "b", 2, NoArg},
+		{4, Load, "f", NoArg, NoArg},
+		{24, Load, "d", NoArg, NoArg},
+		{5, Load, "j", NoArg, NoArg},
+		{12, Load, "c", NoArg, NoArg},
+		{26, And, "", 4, 24},
+		{6, Add, "", 4, 5},
+		{30, Sub, "", 26, 4},
+		{18, Sub, "", 6, 0},
+		{22, Add, "", 1, 2},
+		{38, Add, "", 12, 30},
+		{19, Store, "i", 18, NoArg},
+		{23, Store, "a", 22, NoArg},
+		{27, Store, "h", 26, NoArg},
+		{31, Store, "e", 30, NoArg},
+		{39, Store, "g", 38, NoArg},
+	}
+	pos := make(map[int]int, len(rows))
+	for i, r := range rows {
+		pos[r.id] = i
+	}
+	b := &Block{}
+	for _, r := range rows {
+		t := Tuple{Op: r.op, Var: r.v, Args: [2]int{NoArg, NoArg}}
+		if r.a != NoArg {
+			t.Args[0] = pos[r.a]
+		}
+		if r.b != NoArg {
+			t.Args[1] = pos[r.b]
+		}
+		b.Tuples = append(b.Tuples, t)
+		b.IDs = append(b.IDs, r.id)
+	}
+	return b
+}
+
+// Fig1FinishTimes returns the minimum and maximum finish times for
+// Fig1Block on infinite processors (Figure 1's two rightmost columns),
+// indexed by position in Fig1Block.
+//
+// Two entries differ from the published table: the paper lists tuple 22
+// (Add 1,2) as finishing in [2,5] and tuple 23 (Store a,22) in [3,6], but
+// tuple 22 consumes tuple 2, which itself finishes no earlier than [2,5],
+// so by the paper's own longest-path definition tuple 22 finishes in [3,6]
+// and tuple 23 in [4,7]. All seventeen remaining rows match the published
+// table exactly.
+func Fig1FinishTimes() (min, max []int) {
+	min = []int{1, 1, 2, 3, 1, 1, 1, 1, 2, 2, 3, 3, 3, 4, 4, 4, 3, 4, 5}
+	max = []int{4, 4, 5, 6, 4, 4, 4, 4, 5, 5, 6, 6, 6, 7, 7, 7, 6, 7, 8}
+	return min, max
+}

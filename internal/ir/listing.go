@@ -1,0 +1,117 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseListing parses a tuple listing in the paper's Figure 1 format back
+// into a Block — the inverse of Block.Listing. Each line is
+//
+//	<tuple-no> <mnemonic> [<operands>]
+//
+// where operands reference earlier tuple numbers (or #imm immediates), and
+// Load/Store carry a variable name. A header line and trailing min/max
+// time columns are ignored, so Listing output round-trips. Blank lines and
+// lines starting with '#' are skipped.
+func ParseListing(text string) (*Block, error) {
+	b := &Block{}
+	pos := make(map[int]int) // display id -> position
+	lineNo := 0
+	for _, raw := range strings.Split(text, "\n") {
+		lineNo++
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "Tuple No.") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("ir: line %d: want <id> <instruction>, got %q", lineNo, line)
+		}
+		id, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("ir: line %d: bad tuple number %q", lineNo, fields[0])
+		}
+		op, ok := opByName(fields[1])
+		if !ok {
+			return nil, fmt.Errorf("ir: line %d: unknown instruction %q", lineNo, fields[1])
+		}
+		t := Tuple{Op: op, Args: [2]int{NoArg, NoArg}}
+		operandText := ""
+		if len(fields) >= 3 {
+			operandText = fields[2]
+		}
+		switch {
+		case op == Load:
+			if operandText == "" {
+				return nil, fmt.Errorf("ir: line %d: Load needs a variable", lineNo)
+			}
+			t.Var = operandText
+		case op == Store:
+			name, val, found := strings.Cut(operandText, ",")
+			if !found || name == "" {
+				return nil, fmt.Errorf("ir: line %d: Store needs var,value", lineNo)
+			}
+			t.Var = name
+			if err := parseOperand(val, 0, &t, pos); err != nil {
+				return nil, fmt.Errorf("ir: line %d: %v", lineNo, err)
+			}
+		case op.IsBinary():
+			a, bb, found := strings.Cut(operandText, ",")
+			if !found {
+				return nil, fmt.Errorf("ir: line %d: %v needs two operands", lineNo, op)
+			}
+			if err := parseOperand(a, 0, &t, pos); err != nil {
+				return nil, fmt.Errorf("ir: line %d: %v", lineNo, err)
+			}
+			if err := parseOperand(bb, 1, &t, pos); err != nil {
+				return nil, fmt.Errorf("ir: line %d: %v", lineNo, err)
+			}
+		}
+		if _, dup := pos[id]; dup {
+			return nil, fmt.Errorf("ir: line %d: duplicate tuple number %d", lineNo, id)
+		}
+		pos[id] = len(b.Tuples)
+		b.Tuples = append(b.Tuples, t)
+		b.IDs = append(b.IDs, id)
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// parseOperand fills operand slot k from "#imm" or a tuple number.
+func parseOperand(s string, k int, t *Tuple, pos map[int]int) error {
+	s = strings.TrimSpace(s)
+	if imm, found := strings.CutPrefix(s, "#"); found {
+		v, err := strconv.ParseInt(imm, 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad immediate %q", s)
+		}
+		t.IsImm[k] = true
+		t.Imm[k] = v
+		return nil
+	}
+	id, err := strconv.Atoi(s)
+	if err != nil {
+		return fmt.Errorf("bad operand %q", s)
+	}
+	p, ok := pos[id]
+	if !ok {
+		return fmt.Errorf("operand references unknown tuple %d", id)
+	}
+	t.Args[k] = p
+	return nil
+}
+
+// opByName maps a mnemonic to its Op.
+func opByName(name string) (Op, bool) {
+	for op := Load; op < numOps; op++ {
+		if op.String() == name {
+			return op, true
+		}
+	}
+	return Nop, false
+}

@@ -1,0 +1,117 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseListingRoundTripsFig1(t *testing.T) {
+	orig := Fig1Block()
+	text := orig.Listing(nil)
+	back, err := ParseListing(text)
+	if err != nil {
+		t.Fatalf("ParseListing: %v\n%s", err, text)
+	}
+	if back.Len() != orig.Len() {
+		t.Fatalf("lengths differ: %d vs %d", back.Len(), orig.Len())
+	}
+	for i := range orig.Tuples {
+		if back.Tuples[i] != orig.Tuples[i] {
+			t.Errorf("tuple %d: %+v vs %+v", i, back.Tuples[i], orig.Tuples[i])
+		}
+		if back.ID(i) != orig.ID(i) {
+			t.Errorf("id %d: %d vs %d", i, back.ID(i), orig.ID(i))
+		}
+	}
+}
+
+func TestParseListingRoundTripsWithTimes(t *testing.T) {
+	// Listings that include the min/max time columns (Figure 1's full
+	// format) must also parse: the trailing columns are ignored.
+	orig := Fig1Block()
+	mn, mx := Fig1FinishTimes()
+	text := orig.Listing(func(i int) (int, int) { return mn[i], mx[i] })
+	back, err := ParseListing(text)
+	if err != nil {
+		t.Fatalf("ParseListing with times: %v", err)
+	}
+	if back.Len() != orig.Len() {
+		t.Errorf("lengths differ: %d vs %d", back.Len(), orig.Len())
+	}
+}
+
+func TestParseListingImmediates(t *testing.T) {
+	text := "0 Load x\n1 Mul 0,#10\n2 Store y,1\n3 Store k,#-5\n"
+	b, err := ParseListing(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := b.Eval(Memory{"x": 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem["y"] != 60 || mem["k"] != -5 {
+		t.Errorf("mem = %v", mem)
+	}
+}
+
+func TestParseListingSkipsCommentsAndBlanks(t *testing.T) {
+	text := "# a comment\n\n0 Load a\n\n1 Store b,0\n"
+	b, err := ParseListing(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 2 {
+		t.Errorf("tuples = %d, want 2", b.Len())
+	}
+}
+
+func TestParseListingErrors(t *testing.T) {
+	cases := []string{
+		"0 Frob a",             // unknown op
+		"x Load a",             // bad id
+		"0 Load",               // missing var
+		"0 Load a\n1 Add 0",    // missing operand
+		"0 Load a\n1 Add 0,9",  // unknown tuple ref
+		"0 Load a\n0 Load b",   // duplicate id
+		"0 Store x",            // store without value
+		"0 Load a\n1 Mul 0,#x", // bad immediate
+		"0",                    // too short
+	}
+	for _, text := range cases {
+		if _, err := ParseListing(text); err == nil {
+			t.Errorf("ParseListing(%q) succeeded, want error", text)
+		}
+	}
+}
+
+func TestParseListingForwardReferenceRejected(t *testing.T) {
+	if _, err := ParseListing("0 Add 1,1\n1 Load a"); err == nil {
+		t.Error("accepted forward reference")
+	}
+}
+
+func TestParseListingSemanticsMatchOriginal(t *testing.T) {
+	orig := Fig1Block()
+	back, err := ParseListing(orig.Listing(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := Memory{"i": 2, "a": 3, "f": 12, "d": 10, "j": 5, "c": 100}
+	want, err := orig.Eval(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.Eval(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if got[v] != want[v] {
+			t.Errorf("%s = %d, want %d", v, got[v], want[v])
+		}
+	}
+	if !strings.Contains(back.Listing(nil), "Store g,38") {
+		t.Error("display ids lost in round trip")
+	}
+}

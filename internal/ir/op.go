@@ -1,0 +1,136 @@
+// Package ir defines the tuple intermediate representation used throughout
+// the barrier-MIMD scheduling pipeline.
+//
+// The instruction set is the nine-operation set of the paper (Table 1):
+// Load, Store, Add, Sub, And, Or, Mul, Div and Mod. Four of the nine
+// operations (Load, Mul, Div, Mod) have variable execution time; the
+// remainder execute in exactly one time unit. A basic block is a flat
+// sequence of tuples; each tuple names its operand tuples by index, exactly
+// as in Figure 1 of the paper ("Add 0,1" adds the values produced by tuples
+// 0 and 1).
+package ir
+
+import "fmt"
+
+// Op is one of the nine benchmark instructions.
+type Op uint8
+
+// The nine-instruction benchmark set of Table 1.
+const (
+	// Nop is the zero Op. It is invalid in a block and exists so that the
+	// zero value of Tuple is detectably incomplete.
+	Nop Op = iota
+	Load
+	Store
+	Add
+	Sub
+	And
+	Or
+	Mul
+	Div
+	Mod
+	numOps
+)
+
+var opNames = [...]string{
+	Nop:   "Nop",
+	Load:  "Load",
+	Store: "Store",
+	Add:   "Add",
+	Sub:   "Sub",
+	And:   "And",
+	Or:    "Or",
+	Mul:   "Mul",
+	Div:   "Div",
+	Mod:   "Mod",
+}
+
+// String returns the mnemonic for op as used in the paper's listings.
+func (op Op) String() string {
+	if int(op) < len(opNames) {
+		return opNames[op]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(op))
+}
+
+// Valid reports whether op is one of the nine benchmark instructions.
+func (op Op) Valid() bool { return op > Nop && op < numOps }
+
+// IsBinary reports whether op consumes two operand tuples.
+func (op Op) IsBinary() bool { return op >= Add && op <= Mod }
+
+// IsCommutative reports whether swapping the operands of op leaves the
+// result unchanged. Used by the optimizer to canonicalize tuples for
+// common-subexpression elimination.
+func (op Op) IsCommutative() bool {
+	switch op {
+	case Add, And, Or, Mul:
+		return true
+	}
+	return false
+}
+
+// Timing is an inclusive execution-time range in machine time units.
+type Timing struct {
+	Min int
+	Max int
+}
+
+// Fixed reports whether the instruction always takes the same time.
+func (t Timing) Fixed() bool { return t.Min == t.Max }
+
+// Width returns the size of the timing window (Max - Min).
+func (t Timing) Width() int { return t.Max - t.Min }
+
+func (t Timing) String() string { return fmt.Sprintf("[%d,%d]", t.Min, t.Max) }
+
+// TimingModel maps each operation to its execution-time range. The zero
+// value is unusable; start from DefaultTimings (Table 1 of the paper) and
+// override entries to explore instruction-timing-variation ablations
+// (section 5.4).
+type TimingModel [numOps]Timing
+
+// DefaultTimings is the Table 1 timing model:
+//
+//	Load 1-4, Store 1, Add/Sub/And/Or 1, Mul 16-24, Div 24-32, Mod 24-32.
+func DefaultTimings() TimingModel {
+	var m TimingModel
+	m[Load] = Timing{1, 4}
+	m[Store] = Timing{1, 1}
+	m[Add] = Timing{1, 1}
+	m[Sub] = Timing{1, 1}
+	m[And] = Timing{1, 1}
+	m[Or] = Timing{1, 1}
+	m[Mul] = Timing{16, 24}
+	m[Div] = Timing{24, 32}
+	m[Mod] = Timing{24, 32}
+	return m
+}
+
+// Of returns the timing range for op.
+func (m TimingModel) Of(op Op) Timing { return m[op] }
+
+// Validate checks that every benchmark instruction has a sane range
+// (1 <= Min <= Max).
+func (m TimingModel) Validate() error {
+	for op := Load; op < numOps; op++ {
+		t := m[op]
+		if t.Min < 1 || t.Max < t.Min {
+			return fmt.Errorf("ir: invalid timing %v for %v", t, op)
+		}
+	}
+	return nil
+}
+
+// Scaled returns a copy of m with every timing window widened by the given
+// factor: Max becomes Min + factor*(Max-Min), rounded. factor 1 returns m
+// unchanged. Used for the instruction-timing-variation experiment of
+// section 5.4.
+func (m TimingModel) Scaled(factor float64) TimingModel {
+	out := m
+	for op := Load; op < numOps; op++ {
+		w := float64(m[op].Width()) * factor
+		out[op].Max = m[op].Min + int(w+0.5)
+	}
+	return out
+}

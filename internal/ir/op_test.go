@@ -1,0 +1,165 @@
+package ir
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpString(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want string
+	}{
+		{Nop, "Nop"}, {Load, "Load"}, {Store, "Store"}, {Add, "Add"},
+		{Sub, "Sub"}, {And, "And"}, {Or, "Or"}, {Mul, "Mul"},
+		{Div, "Div"}, {Mod, "Mod"}, {Op(200), "Op(200)"},
+	}
+	for _, c := range cases {
+		if got := c.op.String(); got != c.want {
+			t.Errorf("Op(%d).String() = %q, want %q", c.op, got, c.want)
+		}
+	}
+}
+
+func TestOpValid(t *testing.T) {
+	if Nop.Valid() {
+		t.Error("Nop.Valid() = true")
+	}
+	for op := Load; op <= Mod; op++ {
+		if !op.Valid() {
+			t.Errorf("%v.Valid() = false", op)
+		}
+	}
+	if Op(100).Valid() {
+		t.Error("Op(100).Valid() = true")
+	}
+}
+
+func TestOpIsBinary(t *testing.T) {
+	binary := map[Op]bool{Add: true, Sub: true, And: true, Or: true, Mul: true, Div: true, Mod: true}
+	for op := Nop; op < numOps; op++ {
+		if got := op.IsBinary(); got != binary[op] {
+			t.Errorf("%v.IsBinary() = %v, want %v", op, got, binary[op])
+		}
+	}
+}
+
+func TestOpIsCommutative(t *testing.T) {
+	comm := map[Op]bool{Add: true, And: true, Or: true, Mul: true}
+	for op := Nop; op < numOps; op++ {
+		if got := op.IsCommutative(); got != comm[op] {
+			t.Errorf("%v.IsCommutative() = %v, want %v", op, got, comm[op])
+		}
+	}
+}
+
+func TestCommutativeOpsCommute(t *testing.T) {
+	// Property: EvalOp(op, a, b) == EvalOp(op, b, a) for commutative ops.
+	for _, op := range []Op{Add, And, Or, Mul} {
+		op := op
+		f := func(a, b int64) bool {
+			x, err1 := EvalOp(op, a, b)
+			y, err2 := EvalOp(op, b, a)
+			return err1 == nil && err2 == nil && x == y
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%v does not commute: %v", op, err)
+		}
+	}
+}
+
+func TestDefaultTimings(t *testing.T) {
+	m := DefaultTimings()
+	want := map[Op]Timing{
+		Load: {1, 4}, Store: {1, 1}, Add: {1, 1}, Sub: {1, 1},
+		And: {1, 1}, Or: {1, 1}, Mul: {16, 24}, Div: {24, 32}, Mod: {24, 32},
+	}
+	for op, w := range want {
+		if got := m.Of(op); got != w {
+			t.Errorf("DefaultTimings()[%v] = %v, want %v", op, got, w)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("DefaultTimings().Validate() = %v", err)
+	}
+}
+
+func TestTimingModelValidateRejectsBadRanges(t *testing.T) {
+	m := DefaultTimings()
+	m[Mul] = Timing{5, 4}
+	if err := m.Validate(); err == nil {
+		t.Error("Validate accepted Max < Min")
+	}
+	m = DefaultTimings()
+	m[Add] = Timing{0, 1}
+	if err := m.Validate(); err == nil {
+		t.Error("Validate accepted Min < 1")
+	}
+}
+
+func TestTimingHelpers(t *testing.T) {
+	if !(Timing{3, 3}).Fixed() {
+		t.Error("Timing{3,3}.Fixed() = false")
+	}
+	if (Timing{1, 4}).Fixed() {
+		t.Error("Timing{1,4}.Fixed() = true")
+	}
+	if w := (Timing{16, 24}).Width(); w != 8 {
+		t.Errorf("Width = %d, want 8", w)
+	}
+	if s := (Timing{1, 4}).String(); s != "[1,4]" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestTimingModelScaled(t *testing.T) {
+	m := DefaultTimings().Scaled(2)
+	if got := m.Of(Load); got != (Timing{1, 7}) {
+		t.Errorf("Scaled(2) Load = %v, want [1,7]", got)
+	}
+	if got := m.Of(Add); got != (Timing{1, 1}) {
+		t.Errorf("Scaled(2) Add = %v, want [1,1]", got)
+	}
+	if got := m.Of(Mul); got != (Timing{16, 32}) {
+		t.Errorf("Scaled(2) Mul = %v, want [16,32]", got)
+	}
+	// factor 1 is identity.
+	if DefaultTimings().Scaled(1) != DefaultTimings() {
+		t.Error("Scaled(1) is not the identity")
+	}
+}
+
+func TestEvalOpTotality(t *testing.T) {
+	// Div/Mod by zero are defined as zero.
+	for _, op := range []Op{Div, Mod} {
+		v, err := EvalOp(op, 42, 0)
+		if err != nil || v != 0 {
+			t.Errorf("EvalOp(%v, 42, 0) = %d, %v; want 0, nil", op, v, err)
+		}
+	}
+	if _, err := EvalOp(Load, 1, 2); err == nil {
+		t.Error("EvalOp(Load) succeeded; want error")
+	}
+	if _, err := EvalOp(Store, 1, 2); err == nil {
+		t.Error("EvalOp(Store) succeeded; want error")
+	}
+}
+
+func TestEvalOpSemantics(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b int64
+		want int64
+	}{
+		{Add, 3, 4, 7}, {Sub, 3, 4, -1}, {And, 0b1100, 0b1010, 0b1000},
+		{Or, 0b1100, 0b1010, 0b1110}, {Mul, 6, 7, 42},
+		{Div, 42, 5, 8}, {Mod, 42, 5, 2},
+		{Div, -7, 2, -3}, {Mod, -7, 2, -1},
+	}
+	for _, c := range cases {
+		got, err := EvalOp(c.op, c.a, c.b)
+		if err != nil || got != c.want {
+			t.Errorf("EvalOp(%v,%d,%d) = %d, %v; want %d", c.op, c.a, c.b, got, err, c.want)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// mkBlock builds a tiny well-formed block used by several tests:
+//
+//	0 Load x
+//	1 Load y
+//	2 Add 0,1
+//	3 Store z,2
+func mkBlock() *Block {
+	b := &Block{}
+	b.Append(Tuple{Op: Load, Var: "x", Args: [2]int{NoArg, NoArg}})
+	b.Append(Tuple{Op: Load, Var: "y", Args: [2]int{NoArg, NoArg}})
+	b.Append(Tuple{Op: Add, Args: [2]int{0, 1}})
+	b.Append(Tuple{Op: Store, Var: "z", Args: [2]int{2, NoArg}})
+	return b
+}
+
+func TestTupleString(t *testing.T) {
+	cases := []struct {
+		tp   Tuple
+		want string
+	}{
+		{Tuple{Op: Load, Var: "i"}, "Load i"},
+		{Tuple{Op: Store, Var: "b", Args: [2]int{2, NoArg}}, "Store b,2"},
+		{Tuple{Op: Add, Args: [2]int{0, 1}}, "Add 0,1"},
+		{Tuple{Op: Mul, Args: [2]int{7, NoArg}, Imm: [2]int64{0, 3}, IsImm: [2]bool{false, true}}, "Mul 7,#3"},
+		{Tuple{Op: Store, Var: "c", Imm: [2]int64{9, 0}, IsImm: [2]bool{true, false}}, "Store c,#9"},
+	}
+	for _, c := range cases {
+		if got := c.tp.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestTupleNumArgsAndOperands(t *testing.T) {
+	ld := Tuple{Op: Load, Var: "v"}
+	if ld.NumArgs() != 0 || len(ld.Operands()) != 0 {
+		t.Errorf("Load: NumArgs=%d Operands=%v", ld.NumArgs(), ld.Operands())
+	}
+	st := Tuple{Op: Store, Var: "v", Args: [2]int{3, NoArg}}
+	if st.NumArgs() != 1 {
+		t.Errorf("Store NumArgs=%d", st.NumArgs())
+	}
+	if ops := st.Operands(); len(ops) != 1 || ops[0] != 3 {
+		t.Errorf("Store Operands=%v", ops)
+	}
+	add := Tuple{Op: Add, Args: [2]int{1, 2}}
+	if ops := add.Operands(); len(ops) != 2 || ops[0] != 1 || ops[1] != 2 {
+		t.Errorf("Add Operands=%v", ops)
+	}
+	imm := Tuple{Op: Add, Args: [2]int{1, NoArg}, IsImm: [2]bool{false, true}, Imm: [2]int64{0, 5}}
+	if ops := imm.Operands(); len(ops) != 1 || ops[0] != 1 {
+		t.Errorf("Add-with-imm Operands=%v", ops)
+	}
+}
+
+func TestBlockAppendAssignsSequentialIDs(t *testing.T) {
+	b := mkBlock()
+	for i := 0; i < b.Len(); i++ {
+		if b.ID(i) != i {
+			t.Errorf("ID(%d) = %d", i, b.ID(i))
+		}
+	}
+	if b.Len() != 4 {
+		t.Errorf("Len = %d, want 4", b.Len())
+	}
+}
+
+func TestBlockValidateAcceptsWellFormed(t *testing.T) {
+	if err := mkBlock().Validate(); err != nil {
+		t.Errorf("Validate() = %v", err)
+	}
+	if err := Fig1Block().Validate(); err != nil {
+		t.Errorf("Fig1Block().Validate() = %v", err)
+	}
+}
+
+func TestBlockValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Block)
+	}{
+		{"invalid op", func(b *Block) { b.Tuples[2].Op = Nop }},
+		{"missing var on load", func(b *Block) { b.Tuples[0].Var = "" }},
+		{"missing var on store", func(b *Block) { b.Tuples[3].Var = "" }},
+		{"forward reference", func(b *Block) { b.Tuples[2].Args[0] = 3 }},
+		{"self reference", func(b *Block) { b.Tuples[2].Args[0] = 2 }},
+		{"negative operand", func(b *Block) { b.Tuples[2].Args[0] = -7 }},
+		{"missing operand", func(b *Block) { b.Tuples[3].Args[0] = NoArg }},
+		{"consumes store", func(b *Block) {
+			b.Append(Tuple{Op: Add, Args: [2]int{3, 1}})
+		}},
+	}
+	for _, c := range cases {
+		b := mkBlock()
+		c.mut(b)
+		if err := b.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted malformed block", c.name)
+		}
+	}
+}
+
+func TestBlockValidateIDLengthMismatch(t *testing.T) {
+	b := mkBlock()
+	b.IDs = b.IDs[:2]
+	if err := b.Validate(); err == nil {
+		t.Error("Validate accepted mismatched IDs length")
+	}
+}
+
+func TestBlockListingMatchesFigure1Format(t *testing.T) {
+	b := Fig1Block()
+	mn, mx := Fig1FinishTimes()
+	out := b.Listing(func(i int) (int, int) { return mn[i], mx[i] })
+	for _, want := range []string{
+		"Tuple No.", "Instruction", "Min. Time", "Max. Time",
+		"Add 0,1", "Store b,2", "And 4,24", "Sub 26,4", "Store g,38",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Listing missing %q:\n%s", want, out)
+		}
+	}
+	// Operand references must use display IDs, not positions: tuple 30 is
+	// "Sub 26,4" even though 26 sits at position 8.
+	if strings.Contains(out, "Sub 8,4") {
+		t.Errorf("Listing shows positions instead of display IDs:\n%s", out)
+	}
+}
+
+func TestBlockListingWithoutTimes(t *testing.T) {
+	out := mkBlock().Listing(nil)
+	if strings.Contains(out, "Min. Time") {
+		t.Errorf("Listing(nil) printed time columns:\n%s", out)
+	}
+	if !strings.Contains(out, "Store z,2") {
+		t.Errorf("Listing(nil) missing instruction:\n%s", out)
+	}
+}
+
+func TestBlockVariables(t *testing.T) {
+	vars := Fig1Block().Variables()
+	want := []string{"i", "a", "b", "f", "d", "j", "c", "h", "e", "g"}
+	if len(vars) != len(want) {
+		t.Fatalf("Variables() = %v, want %v", vars, want)
+	}
+	for i := range want {
+		if vars[i] != want[i] {
+			t.Errorf("Variables()[%d] = %q, want %q", i, vars[i], want[i])
+		}
+	}
+}
+
+func TestBlockOpCounts(t *testing.T) {
+	counts := Fig1Block().OpCounts()
+	want := map[Op]int{Load: 6, Store: 6, Add: 4, Sub: 2, And: 1}
+	for op, n := range want {
+		if counts[op] != n {
+			t.Errorf("OpCounts[%v] = %d, want %d", op, counts[op], n)
+		}
+	}
+	if counts[Mul] != 0 || counts[Div] != 0 {
+		t.Errorf("unexpected Mul/Div counts: %v", counts)
+	}
+}
+
+func TestBlockClone(t *testing.T) {
+	b := mkBlock()
+	c := b.Clone()
+	c.Tuples[0].Var = "mutated"
+	c.IDs[0] = 99
+	if b.Tuples[0].Var != "x" || b.IDs[0] != 0 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestBlockAppendAfterExplicitIDs(t *testing.T) {
+	b := Fig1Block() // last ID is 39
+	pos := b.Append(Tuple{Op: Load, Var: "q", Args: [2]int{NoArg, NoArg}})
+	if got := b.ID(pos); got != 40 {
+		t.Errorf("Append after ID 39 assigned ID %d, want 40", got)
+	}
+}
+
+func TestBlockIDFallback(t *testing.T) {
+	b := &Block{Tuples: []Tuple{{Op: Load, Var: "v"}}}
+	if b.ID(0) != 0 {
+		t.Errorf("ID fallback = %d, want 0", b.ID(0))
+	}
+}

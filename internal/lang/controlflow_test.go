@@ -1,0 +1,176 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"barriermimd/internal/ir"
+)
+
+func TestParseCFBasic(t *testing.T) {
+	p := MustParseCF(`
+		x = 1
+		if x {
+			y = 2
+		}
+		while y {
+			y = y - 1
+		}
+	`)
+	if len(p.Stmts) != 3 {
+		t.Fatalf("statements = %d, want 3", len(p.Stmts))
+	}
+	if _, ok := p.Stmts[0].(Assign); !ok {
+		t.Errorf("stmt 0 is %T, want Assign", p.Stmts[0])
+	}
+	if _, ok := p.Stmts[1].(If); !ok {
+		t.Errorf("stmt 1 is %T, want If", p.Stmts[1])
+	}
+	if _, ok := p.Stmts[2].(While); !ok {
+		t.Errorf("stmt 2 is %T, want While", p.Stmts[2])
+	}
+}
+
+func TestParseCFIfElse(t *testing.T) {
+	p := MustParseCF(`
+		if a + b {
+			x = 1
+		} else {
+			x = 2
+		}
+	`)
+	s := p.Stmts[0].(If)
+	if s.Else == nil {
+		t.Fatal("else branch missing")
+	}
+	if len(s.Then) != 1 || len(s.Else) != 1 {
+		t.Errorf("then/else sizes %d/%d", len(s.Then), len(s.Else))
+	}
+}
+
+func TestParseCFElseOnNextLine(t *testing.T) {
+	p := MustParseCF("if a {\n x = 1\n}\nelse {\n x = 2\n}")
+	s := p.Stmts[0].(If)
+	if s.Else == nil {
+		t.Fatal("else on next line not attached")
+	}
+}
+
+func TestParseCFIfWithoutElseThenStatement(t *testing.T) {
+	p := MustParseCF("if a {\n x = 1\n}\ny = 3")
+	if len(p.Stmts) != 2 {
+		t.Fatalf("statements = %d, want 2: %v", len(p.Stmts), p)
+	}
+	if s := p.Stmts[0].(If); s.Else != nil {
+		t.Error("spurious else")
+	}
+}
+
+func TestParseCFNested(t *testing.T) {
+	p := MustParseCF(`
+		while n {
+			if n & 1 {
+				odd = odd + 1
+			} else {
+				even = even + 1
+			}
+			n = n - 1
+		}
+	`)
+	w := p.Stmts[0].(While)
+	if len(w.Body) != 2 {
+		t.Fatalf("body = %d statements", len(w.Body))
+	}
+	if _, ok := w.Body[0].(If); !ok {
+		t.Errorf("nested statement is %T", w.Body[0])
+	}
+}
+
+func TestParseCFErrors(t *testing.T) {
+	cases := []string{
+		"if a { x = 1",    // unclosed block
+		"if a x = 1",      // missing brace
+		"else { x = 1 }",  // dangling else
+		"while { x = 1 }", // missing condition
+		"if a { 3 = x }",  // bad statement in block
+		"x = 1 }",         // stray brace
+	}
+	for _, src := range cases {
+		if _, err := ParseCF(src); err == nil {
+			t.Errorf("ParseCF(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestCFProgramStringRoundTrip(t *testing.T) {
+	src := "x = 1\nif x {\n  y = 2\n} else {\n  y = 3\n}\nwhile y {\n  y = y - 1\n}"
+	p1 := MustParseCF(src)
+	p2, err := ParseCF(p1.String())
+	if err != nil {
+		t.Fatalf("reparse failed: %v\nrendered:\n%s", err, p1.String())
+	}
+	if p1.String() != p2.String() {
+		t.Errorf("round trip mismatch:\n%s\nvs\n%s", p1.String(), p2.String())
+	}
+}
+
+func TestCFEvalIf(t *testing.T) {
+	p := MustParseCF("if a { x = 1 } else { x = 2 }")
+	mem, err := p.Eval(ir.Memory{"a": 5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem["x"] != 1 {
+		t.Errorf("x = %d, want 1", mem["x"])
+	}
+	mem, err = p.Eval(ir.Memory{"a": 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem["x"] != 2 {
+		t.Errorf("x = %d, want 2", mem["x"])
+	}
+}
+
+func TestCFEvalWhileLoop(t *testing.T) {
+	// sum = 0; i = 5; while i { sum = sum + i; i = i - 1 }  →  sum = 15
+	p := MustParseCF("sum = 0\ni = 5\nwhile i {\n sum = sum + i\n i = i - 1\n}")
+	mem, err := p.Eval(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem["sum"] != 15 || mem["i"] != 0 {
+		t.Errorf("sum=%d i=%d, want 15, 0", mem["sum"], mem["i"])
+	}
+}
+
+func TestCFEvalStepLimit(t *testing.T) {
+	p := MustParseCF("x = 1\nwhile x { y = 1 }")
+	if _, err := p.Eval(nil, 100); err != ErrStepLimit {
+		t.Errorf("err = %v, want ErrStepLimit", err)
+	}
+}
+
+func TestCFVariables(t *testing.T) {
+	p := MustParseCF("if a { x = b } else { x = c }\nwhile x { x = x - d }")
+	got := strings.Join(p.Variables(), ",")
+	want := "a,b,x,c,d"
+	if got != want {
+		t.Errorf("Variables = %s, want %s", got, want)
+	}
+}
+
+func TestMustParseCFPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseCF did not panic")
+		}
+	}()
+	MustParseCF("if {")
+}
+
+func TestFlatParseStillRejectsBraces(t *testing.T) {
+	if _, err := Parse("if a { x = 1 }"); err == nil {
+		t.Error("flat Parse accepted control flow")
+	}
+}

@@ -1,0 +1,79 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the flat parser never panics and either returns a
+// program that round-trips or a positioned syntax error.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"a = b + c",
+		"x = (a * b) % 7\ny = x - -3",
+		"a = 1; b = a | a & a",
+		"",
+		"a = ",
+		"a = b @ c",
+		"\t\n\n  a=1\n",
+		"a = 9999999999999999999999",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			if se, ok := err.(*SyntaxError); ok {
+				if se.Line < 1 || se.Col < 1 {
+					t.Errorf("syntax error without position: %v", se)
+				}
+			}
+			return
+		}
+		// Successful parses must round-trip.
+		again, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("rendered program does not reparse: %v\n%s", err, p.String())
+		}
+		if p.String() != again.String() {
+			t.Errorf("round trip mismatch:\n%s\nvs\n%s", p.String(), again.String())
+		}
+	})
+}
+
+// FuzzParseCF does the same for the control-flow grammar.
+func FuzzParseCF(f *testing.F) {
+	for _, seed := range []string{
+		"if a { x = 1 } else { x = 2 }",
+		"while n { n = n - 1 }",
+		"if a { if b { x = 1 } }",
+		"if a { } else { }",
+		"x = 1\nif x {\n y = 2\n}\nz = 3",
+		"while { }",
+		"else { }",
+		"if a {",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := ParseCF(src)
+		if err != nil {
+			return
+		}
+		again, err := ParseCF(p.String())
+		if err != nil {
+			t.Fatalf("rendered CF program does not reparse: %v\n%s", err, p.String())
+		}
+		if p.String() != again.String() {
+			t.Errorf("round trip mismatch:\n%s\nvs\n%s", p.String(), again.String())
+		}
+		// Evaluation with a step budget must not panic.
+		if _, err := p.Eval(nil, 10_000); err != nil && err != ErrStepLimit {
+			// Errors other than the step limit indicate evaluator bugs
+			// for parseable programs.
+			if !strings.Contains(err.Error(), "unknown") {
+				t.Errorf("Eval failed on parseable program: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,189 @@
+// Package lang implements the "simple language consisting of basic blocks
+// of code with no control flow constructs" of section 2 of the paper: a
+// straight-line sequence of assignment statements over integer variables
+// with the operators + - & | * / %.
+//
+// The pipeline is Parse → Compile (naive tuple generation: a Load per
+// variable reference, a Store per assignment) → opt.Optimize (CSE, constant
+// folding, value propagation, dead-code elimination), mirroring the paper's
+// benchmark tool chain.
+package lang
+
+import (
+	"fmt"
+	"unicode"
+)
+
+// TokenKind classifies lexical tokens.
+type TokenKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber
+	TokAssign // =
+	TokPlus   // +
+	TokMinus  // -
+	TokStar   // *
+	TokSlash  // /
+	TokPercent
+	TokAmp  // &
+	TokPipe // |
+	TokLParen
+	TokRParen
+	TokLBrace
+	TokRBrace
+	TokSemi // ; or newline
+)
+
+var tokenNames = [...]string{
+	TokEOF: "end of input", TokIdent: "identifier", TokNumber: "number",
+	TokAssign: "'='", TokPlus: "'+'", TokMinus: "'-'", TokStar: "'*'",
+	TokSlash: "'/'", TokPercent: "'%'", TokAmp: "'&'", TokPipe: "'|'",
+	TokLParen: "'('", TokRParen: "')'",
+	TokLBrace: "'{'", TokRBrace: "'}'", TokSemi: "';'",
+}
+
+func (k TokenKind) String() string {
+	if int(k) < len(tokenNames) {
+		return tokenNames[k]
+	}
+	return fmt.Sprintf("token(%d)", uint8(k))
+}
+
+// Token is a lexical token with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Line int // 1-based
+	Col  int // 1-based
+}
+
+// SyntaxError reports a lexical or parse error with position.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// lexer converts source text into tokens. Newlines are significant: they
+// act as statement terminators (TokSemi), as do explicit semicolons.
+// Comments run from '#' or "//" to end of line.
+type lexer struct {
+	src         []rune
+	pos         int
+	line, col   int
+	emittedSemi bool // collapse runs of terminators
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1, emittedSemi: true}
+}
+
+func (l *lexer) errf(format string, args ...any) *SyntaxError {
+	return &SyntaxError{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+// next returns the next token.
+func (l *lexer) next() (Token, error) {
+	for l.pos < len(l.src) {
+		r := l.peek()
+		switch {
+		case r == '\n':
+			if l.emittedSemi {
+				l.advance() // collapse runs of terminators
+				continue
+			}
+			tok := Token{Kind: TokSemi, Text: "\\n", Line: l.line, Col: l.col}
+			l.advance()
+			l.emittedSemi = true
+			return tok, nil
+		case r == ' ' || r == '\t' || r == '\r':
+			l.advance()
+			continue
+		case r == '#' || (r == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/'):
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+			continue
+		}
+		break
+	}
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Line: l.line, Col: l.col}, nil
+	}
+
+	line, col := l.line, l.col
+	r := l.peek()
+	switch {
+	case unicode.IsLetter(r) || r == '_':
+		start := l.pos
+		for l.pos < len(l.src) && (unicode.IsLetter(l.peek()) || unicode.IsDigit(l.peek()) || l.peek() == '_') {
+			l.advance()
+		}
+		l.emittedSemi = false
+		return Token{Kind: TokIdent, Text: string(l.src[start:l.pos]), Line: line, Col: col}, nil
+	case unicode.IsDigit(r):
+		start := l.pos
+		for l.pos < len(l.src) && unicode.IsDigit(l.peek()) {
+			l.advance()
+		}
+		if l.pos < len(l.src) && (unicode.IsLetter(l.peek()) || l.peek() == '_') {
+			return Token{}, l.errf("malformed number")
+		}
+		l.emittedSemi = false
+		return Token{Kind: TokNumber, Text: string(l.src[start:l.pos]), Line: line, Col: col}, nil
+	}
+
+	single := map[rune]TokenKind{
+		'=': TokAssign, '+': TokPlus, '-': TokMinus, '*': TokStar,
+		'/': TokSlash, '%': TokPercent, '&': TokAmp, '|': TokPipe,
+		'(': TokLParen, ')': TokRParen, ';': TokSemi,
+		'{': TokLBrace, '}': TokRBrace,
+	}
+	if k, ok := single[r]; ok {
+		l.advance()
+		l.emittedSemi = k == TokSemi
+		return Token{Kind: k, Text: string(r), Line: line, Col: col}, nil
+	}
+	return Token{}, l.errf("unexpected character %q", r)
+}
+
+// Lex tokenizes src completely; mainly a testing convenience.
+func Lex(src string) ([]Token, error) {
+	l := newLexer(src)
+	var out []Token
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tok)
+		if tok.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,358 @@
+// Package machine simulates barrier MIMD hardware executing a compiled
+// schedule (section 3.2 of the paper). Two machines are modeled:
+//
+//   - SBM: barriers are bit masks enqueued in a compile-time total order
+//     (Figure 11); the queue's top barrier fires when every participating
+//     processor has executed its wait instruction, and all participants
+//     resume simultaneously.
+//   - DBM: an associative matching memory fires any barrier whose
+//     participants are all waiting, in whatever run-time order occurs.
+//
+// Barriers execute with zero cost upon arrival of the last participant,
+// matching the assumption of the paper's experiments (section 5).
+//
+// The simulator is also the project's end-to-end correctness oracle: with
+// randomized instruction durations, Result.CheckDependences verifies that
+// every producer finished before its consumer started — i.e. that the
+// compiler's static synchronization decisions were sound.
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"barriermimd/internal/core"
+)
+
+// Policy selects how instruction durations are drawn within their
+// [min,max] ranges.
+type Policy uint8
+
+const (
+	// RandomTimes draws each duration uniformly from [min,max] using
+	// Config.Seed.
+	RandomTimes Policy = iota
+	// MinTimes runs every instruction at its minimum time (the paper's
+	// best-case completion measurement).
+	MinTimes
+	// MaxTimes runs every instruction at its maximum time (worst case).
+	MaxTimes
+)
+
+func (p Policy) String() string {
+	switch p {
+	case RandomTimes:
+		return "random"
+	case MinTimes:
+		return "min"
+	case MaxTimes:
+		return "max"
+	}
+	return fmt.Sprintf("Policy(%d)", uint8(p))
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Policy selects the duration model.
+	Policy Policy
+	// Seed drives RandomTimes.
+	Seed int64
+	// BarrierCost is the hardware latency, in time units, between the
+	// last participant's arrival at a barrier and the simultaneous
+	// resumption of all participants. The paper's experiments assume
+	// zero-cost barriers ("barriers were assumed to always execute
+	// immediately upon arrival of the last participating processor");
+	// the companion hardware paper [OKDi90] motivates exploring small
+	// nonzero costs, which the barrier-cost sensitivity experiment does.
+	BarrierCost int
+}
+
+// Result holds the outcome of a simulation.
+type Result struct {
+	// Schedule is the simulated schedule.
+	Schedule *core.Schedule
+	// FinishTime is the completion time of the whole block (all
+	// processors done).
+	FinishTime int
+	// Start and Finish give each real DAG node's execution interval.
+	Start, Finish []int
+	// FireTime maps each live barrier id to its firing time
+	// (InitialBarrier fires at 0).
+	FireTime map[int]int
+	// FireOrder lists barrier ids in firing sequence.
+	FireOrder []int
+}
+
+// Run simulates the schedule on the machine kind recorded in its options.
+func Run(s *core.Schedule, cfg Config) (*Result, error) {
+	return run(s, s.Opts.Machine, cfg)
+}
+
+// RunAs simulates the schedule on an explicitly chosen machine kind,
+// regardless of which machine it was scheduled for. Any schedule runs on
+// either machine: the SBM queue is a linear extension of the barrier dag,
+// so barriers can only be *delayed* relative to the DBM (never
+// deadlocked), which is exactly the SBM-vs-DBM completion-time trade the
+// paper describes in section 3.2.
+func RunAs(s *core.Schedule, kind core.MachineKind, cfg Config) (*Result, error) {
+	return run(s, kind, cfg)
+}
+
+// QueueOrder computes the SBM's compile-time barrier queue: a linear
+// extension of the barrier dag ordered by earliest possible firing time
+// (ties by barrier id). The initial barrier is excluded — it conceptually
+// fires at time zero to start the block.
+func QueueOrder(s *core.Schedule) ([]int, error) {
+	fmin, _, err := s.Barriers.FireWindows()
+	if err != nil {
+		return nil, err
+	}
+	node2id := make(map[int]int, len(s.BarrierNode))
+	for id, n := range s.BarrierNode {
+		node2id[n] = id
+	}
+	g := s.Barriers
+	indeg := make([]int, g.Len())
+	for _, e := range g.Edges() {
+		indeg[e.To]++
+	}
+	var ready []int
+	for n := 0; n < g.Len(); n++ {
+		if indeg[n] == 0 {
+			ready = append(ready, n)
+		}
+	}
+	var order []int
+	for len(ready) > 0 {
+		sort.Slice(ready, func(a, b int) bool {
+			if fmin[ready[a]] != fmin[ready[b]] {
+				return fmin[ready[a]] < fmin[ready[b]]
+			}
+			return node2id[ready[a]] < node2id[ready[b]]
+		})
+		n := ready[0]
+		ready = ready[1:]
+		if id := node2id[n]; id != core.InitialBarrier {
+			order = append(order, id)
+		}
+		for _, sc := range g.Succs(n) {
+			indeg[sc]--
+			if indeg[sc] == 0 {
+				ready = append(ready, sc)
+			}
+		}
+	}
+	if want := g.Len() - 1; len(order) != want {
+		return nil, fmt.Errorf("machine: queue covers %d of %d barriers", len(order), want)
+	}
+	return order, nil
+}
+
+// procState tracks one processor during simulation.
+type procState struct {
+	pos     int // next timeline index
+	time    int // local clock
+	blocked int // barrier id the processor waits on, or -1
+	done    bool
+}
+
+func run(s *core.Schedule, kind core.MachineKind, cfg Config) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	// Durations are drawn up front, indexed by node, so that a given
+	// (Policy, Seed) pair denotes one concrete execution independent of
+	// the machine kind — this makes SBM and DBM runs directly comparable.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	durations := make([]int, s.Graph.N)
+	for n := range durations {
+		t := s.Graph.Time[n]
+		switch cfg.Policy {
+		case MinTimes:
+			durations[n] = t.Min
+		case MaxTimes:
+			durations[n] = t.Max
+		default:
+			durations[n] = t.Min + rng.Intn(t.Max-t.Min+1)
+		}
+	}
+	duration := func(node int) int { return durations[node] }
+
+	res := &Result{
+		Schedule: s,
+		Start:    make([]int, s.Graph.N),
+		Finish:   make([]int, s.Graph.N),
+		FireTime: map[int]int{core.InitialBarrier: 0},
+	}
+
+	var queue []int
+	if kind == core.SBM {
+		var err error
+		queue, err = QueueOrder(s)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	procs := make([]procState, len(s.Procs))
+	for p := range procs {
+		procs[p].blocked = -1
+	}
+
+	// advance runs processor p until it blocks on a wait or finishes.
+	advance := func(p int) {
+		st := &procs[p]
+		tl := s.Procs[p]
+		for st.pos < len(tl) {
+			it := tl[st.pos]
+			if it.IsBarrier {
+				st.blocked = it.Barrier
+				return
+			}
+			d := duration(it.Node)
+			res.Start[it.Node] = st.time
+			st.time += d
+			res.Finish[it.Node] = st.time
+			st.pos++
+		}
+		st.done = true
+	}
+
+	// fire releases barrier id: all participants resume simultaneously,
+	// BarrierCost time units after the arrival of the last participant.
+	fire := func(id int) error {
+		t := 0
+		for _, p := range s.Participants[id] {
+			if procs[p].blocked != id {
+				return fmt.Errorf("machine: barrier %d fired while processor %d waits on %d", id, p, procs[p].blocked)
+			}
+			if procs[p].time > t {
+				t = procs[p].time
+			}
+		}
+		t += cfg.BarrierCost
+		for _, p := range s.Participants[id] {
+			procs[p].time = t
+			procs[p].blocked = -1
+			procs[p].pos++
+		}
+		res.FireTime[id] = t
+		res.FireOrder = append(res.FireOrder, id)
+		return nil
+	}
+
+	for {
+		for p := range procs {
+			if !procs[p].done && procs[p].blocked < 0 {
+				advance(p)
+			}
+		}
+		allDone := true
+		for p := range procs {
+			if !procs[p].done {
+				allDone = false
+			}
+		}
+		if allDone {
+			break
+		}
+
+		fired := false
+		switch kind {
+		case core.SBM:
+			// Only the top mask of the FIFO queue may fire.
+			if len(queue) > 0 {
+				top := queue[0]
+				readyCount := 0
+				for _, p := range s.Participants[top] {
+					if procs[p].blocked == top {
+						readyCount++
+					} else if procs[p].blocked >= 0 {
+						// A participant waiting at a different barrier
+						// means the static order disagrees with the
+						// timeline order: a scheduler bug.
+						return nil, fmt.Errorf("machine: SBM order violation: processor %d waits on %d while top is %d", p, procs[p].blocked, top)
+					}
+				}
+				if readyCount == len(s.Participants[top]) {
+					if err := fire(top); err != nil {
+						return nil, err
+					}
+					queue = queue[1:]
+					fired = true
+				}
+			}
+		default: // DBM: associative matching
+			ids := make([]int, 0, len(s.Participants))
+			for id := range s.Participants {
+				if id != core.InitialBarrier {
+					ids = append(ids, id)
+				}
+			}
+			sort.Ints(ids)
+			for _, id := range ids {
+				if _, already := res.FireTime[id]; already {
+					continue
+				}
+				ready := true
+				for _, p := range s.Participants[id] {
+					if procs[p].blocked != id {
+						ready = false
+						break
+					}
+				}
+				if ready {
+					if err := fire(id); err != nil {
+						return nil, err
+					}
+					fired = true
+					break
+				}
+			}
+		}
+		if !fired {
+			return nil, deadlockError(s, procs, queue, kind)
+		}
+	}
+
+	for p := range procs {
+		if procs[p].time > res.FinishTime {
+			res.FinishTime = procs[p].time
+		}
+	}
+	return res, nil
+}
+
+func deadlockError(s *core.Schedule, procs []procState, queue []int, kind core.MachineKind) error {
+	msg := fmt.Sprintf("machine: %v deadlock:", kind)
+	for p := range procs {
+		switch {
+		case procs[p].done:
+			msg += fmt.Sprintf(" P%d=done", p)
+		case procs[p].blocked >= 0:
+			msg += fmt.Sprintf(" P%d=wait(b%d)", p, procs[p].blocked)
+		default:
+			msg += fmt.Sprintf(" P%d=running", p)
+		}
+	}
+	if kind == core.SBM && len(queue) > 0 {
+		msg += fmt.Sprintf(" top=b%d", queue[0])
+	}
+	return fmt.Errorf("%s", msg)
+}
+
+// CheckDependences verifies that every producer/consumer edge of the DAG
+// was satisfied in this execution: the producer finished no later than the
+// consumer started. A violation means the compiler's static
+// synchronization reasoning was unsound for this timing draw.
+func (r *Result) CheckDependences() error {
+	for _, e := range r.Schedule.Graph.RealEdges() {
+		if r.Finish[e.From] > r.Start[e.To] {
+			return fmt.Errorf("machine: dependence %d→%d violated: producer finished at %d, consumer started at %d (P%d→P%d)",
+				e.From, e.To, r.Finish[e.From], r.Start[e.To],
+				r.Schedule.AssignTo[e.From], r.Schedule.AssignTo[e.To])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"barriermimd/internal/core"
+)
+
+// Gantt renders the execution as an ASCII timeline, one row per processor:
+// each instruction occupies its simulated [start,finish) interval, '.'
+// marks time spent waiting at a barrier, and '|' marks a barrier firing.
+// cols bounds the chart width (0 means 100); longer executions are scaled
+// down proportionally.
+func (r *Result) Gantt(cols int) string {
+	if cols <= 0 {
+		cols = 100
+	}
+	span := r.FinishTime
+	if span == 0 {
+		span = 1
+	}
+	scale := 1.0
+	if span > cols {
+		scale = float64(cols) / float64(span)
+	}
+	col := func(t int) int {
+		c := int(float64(t) * scale)
+		if c >= cols {
+			c = cols - 1
+		}
+		return c
+	}
+
+	s := r.Schedule
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "t=0 .. t=%d (one column ≈ %.1f time units)\n", r.FinishTime, 1/scale)
+	for p := range s.Procs {
+		row := []byte(strings.Repeat(" ", cols))
+		// Waiting periods: from arrival at a wait to the barrier firing.
+		arrive := 0
+		for _, it := range s.Procs[p] {
+			if it.IsBarrier {
+				fire := r.FireTime[it.Barrier]
+				for c := col(arrive); c < col(fire); c++ {
+					row[c] = '.'
+				}
+				if fc := col(fire); fc < cols {
+					row[fc] = '|'
+				}
+				arrive = fire
+				continue
+			}
+			start, finish := r.Start[it.Node], r.Finish[it.Node]
+			glyph := opGlyph(s.Graph.Block.Tuples[it.Node].Op.String())
+			for c := col(start); c <= col(finish-1) && c < cols; c++ {
+				if row[c] == ' ' {
+					row[c] = glyph
+				}
+			}
+			arrive = finish
+		}
+		fmt.Fprintf(&sb, "P%-3d %s\n", p, string(row))
+	}
+	// Barrier firing legend in time order.
+	ids := make([]int, 0, len(r.FireTime))
+	for id := range r.FireTime {
+		if id != core.InitialBarrier {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool { return r.FireTime[ids[a]] < r.FireTime[ids[b]] })
+	if len(ids) > 0 {
+		sb.WriteString("barriers fired:")
+		for _, id := range ids {
+			fmt.Fprintf(&sb, " b%d@%d", id, r.FireTime[id])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// opGlyph picks a one-character glyph for an op mnemonic.
+func opGlyph(op string) byte {
+	switch op {
+	case "Load":
+		return 'L'
+	case "Store":
+		return 'S'
+	case "Mul":
+		return 'M'
+	case "Div":
+		return 'D'
+	case "Mod":
+		return '%'
+	default:
+		return '#' // single-cycle ALU ops
+	}
+}

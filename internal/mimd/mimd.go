@@ -1,0 +1,335 @@
+// Package mimd models a conventional MIMD executing the same instruction
+// placement as a barrier MIMD schedule, but synchronizing with *directed*
+// producer/consumer operations (Figure 3 of the paper): the producer posts
+// a synchronization token after computing a value, and the consumer blocks
+// until the token arrives through the network. Token transmission takes a
+// variable, potentially long time, so — unlike barrier synchronization —
+// the compiler learns nothing about relative timing from it.
+//
+// The package quantifies the paper's motivating comparison (and its
+// conclusion's suggested application): how many runtime synchronization
+// operations a conventional MIMD needs for the same code, before and after
+// removing transitively redundant synchronizations in the style of Shaffer
+// [Shaf89], versus the handful of barriers the barrier MIMD uses.
+package mimd
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"barriermimd/internal/core"
+	"barriermimd/internal/dag"
+	"barriermimd/internal/ir"
+)
+
+// Config parameterizes the conventional machine.
+type Config struct {
+	// SendCost is the producer-side issue cost, in cycles, of posting one
+	// synchronization token. Defaults to 1.
+	SendCost int
+	// Latency is the network transit-time range for a token. Defaults to
+	// [1,8], reflecting the paper's observation that transmission time
+	// depends on routing and traffic.
+	Latency ir.Timing
+	// Policy and Seed select instruction durations exactly as in
+	// machine.Config.
+	Policy DurationPolicy
+	// Seed drives random durations and latencies.
+	Seed int64
+}
+
+// DurationPolicy mirrors machine.Policy for instruction durations.
+type DurationPolicy uint8
+
+// Duration policies.
+const (
+	RandomTimes DurationPolicy = iota
+	MinTimes
+	MaxTimes
+)
+
+func (c Config) withDefaults() Config {
+	if c.SendCost == 0 {
+		c.SendCost = 1
+	}
+	if c.Latency == (ir.Timing{}) {
+		c.Latency = ir.Timing{Min: 1, Max: 8}
+	}
+	return c
+}
+
+// Plan is the synchronization plan for running a schedule's instruction
+// placement on a conventional MIMD.
+type Plan struct {
+	// Schedule supplies the instruction placement and per-processor
+	// order; its barriers are ignored.
+	Schedule *core.Schedule
+	// Syncs are the cross-processor dependences that require a runtime
+	// directed synchronization.
+	Syncs []dag.Edge
+	// Removed are cross-processor dependences whose ordering was already
+	// implied by program order plus the remaining synchronizations
+	// (transitive reduction, as in Shaffer [Shaf89]); they need no
+	// runtime operation.
+	Removed []dag.Edge
+}
+
+// NewPlan derives the conventional-MIMD synchronization plan from a
+// schedule. With reduce set, transitively redundant synchronizations are
+// removed: a cross-processor edge needs no token if the combined graph of
+// per-processor program order and the remaining cross edges already orders
+// producer before consumer.
+func NewPlan(s *core.Schedule, reduce bool) *Plan {
+	p := &Plan{Schedule: s}
+	var cross []dag.Edge
+	for _, e := range s.Graph.RealEdges() {
+		if s.AssignTo[e.From] != s.AssignTo[e.To] {
+			cross = append(cross, e)
+		}
+	}
+	if !reduce {
+		p.Syncs = cross
+		return p
+	}
+
+	// Combined precedence graph: program-order chain edges plus the
+	// currently-kept cross edges. Greedy reduction in deterministic
+	// order: drop an edge if a path still orders it.
+	n := s.Graph.N
+	succ := make([][]int, n)
+	addChain := func() {
+		for _, tl := range s.Procs {
+			prev := -1
+			for _, it := range tl {
+				if it.IsBarrier {
+					continue
+				}
+				if prev >= 0 {
+					succ[prev] = append(succ[prev], it.Node)
+				}
+				prev = it.Node
+			}
+		}
+	}
+	addChain()
+	kept := make(map[dag.Edge]bool, len(cross))
+	for _, e := range cross {
+		kept[e] = true
+		succ[e.From] = append(succ[e.From], e.To)
+	}
+
+	hasPathAvoiding := func(from, to int, avoid dag.Edge) bool {
+		seen := make([]bool, n)
+		stack := []int{from}
+		seen[from] = true
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, sc := range succ[x] {
+				if x == avoid.From && sc == avoid.To {
+					// Skip only one occurrence of the direct edge; chain
+					// duplicates are distinct edges in the slice but
+					// identical here, so skip all identical pairs — the
+					// chain never duplicates a cross edge (different
+					// processors), making this safe.
+					continue
+				}
+				if sc == to {
+					return true
+				}
+				if !seen[sc] {
+					seen[sc] = true
+					stack = append(stack, sc)
+				}
+			}
+		}
+		return false
+	}
+
+	sort.Slice(cross, func(a, b int) bool {
+		if cross[a].From != cross[b].From {
+			return cross[a].From < cross[b].From
+		}
+		return cross[a].To < cross[b].To
+	})
+	for _, e := range cross {
+		if hasPathAvoiding(e.From, e.To, e) {
+			kept[e] = false
+			// Remove the direct edge from succ.
+			out := succ[e.From][:0]
+			removed := false
+			for _, sc := range succ[e.From] {
+				if !removed && sc == e.To {
+					removed = true
+					continue
+				}
+				out = append(out, sc)
+			}
+			succ[e.From] = out
+			p.Removed = append(p.Removed, e)
+		}
+	}
+	for _, e := range cross {
+		if kept[e] {
+			p.Syncs = append(p.Syncs, e)
+		}
+	}
+	return p
+}
+
+// Result is one simulated conventional-MIMD execution.
+type Result struct {
+	Plan *Plan
+	// FinishTime is the completion time of the whole block.
+	FinishTime int
+	// Start and Finish give each node's execution interval.
+	Start, Finish []int
+	// SyncOps is the number of runtime synchronization sends executed.
+	SyncOps int
+	// SendCycles is the total producer-side issue time spent on sends.
+	SendCycles int
+}
+
+// Simulate executes the plan: processors run their instruction streams in
+// order; after an instruction with outgoing synchronizations the producer
+// spends SendCost cycles per token; each consumer instruction waits for
+// its tokens (arrival = send completion + network latency) before
+// starting.
+//
+// The combined precedence relation is acyclic because per-processor order
+// follows list order and every cross edge goes forward in list order, so
+// the simulation cannot deadlock; iteration in topological order of the
+// combined graph computes all times in one pass.
+func (p *Plan) Simulate(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	s := p.Schedule
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := s.Graph.N
+
+	durations := make([]int, n)
+	for i := range durations {
+		t := s.Graph.Time[i]
+		switch cfg.Policy {
+		case MinTimes:
+			durations[i] = t.Min
+		case MaxTimes:
+			durations[i] = t.Max
+		default:
+			durations[i] = t.Min + rng.Intn(t.Max-t.Min+1)
+		}
+	}
+	latency := func() int {
+		switch cfg.Policy {
+		case MinTimes:
+			return cfg.Latency.Min
+		case MaxTimes:
+			return cfg.Latency.Max
+		default:
+			return cfg.Latency.Min + rng.Intn(cfg.Latency.Max-cfg.Latency.Min+1)
+		}
+	}
+
+	// Outgoing syncs per node, in deterministic order; latencies drawn up
+	// front keyed by sync index so results are reproducible.
+	outSyncs := make([][]int, n) // node -> indices into p.Syncs
+	for k, e := range p.Syncs {
+		outSyncs[e.From] = append(outSyncs[e.From], k)
+	}
+	lat := make([]int, len(p.Syncs))
+	for k := range lat {
+		lat[k] = latency()
+	}
+	tokenAt := make([]int, len(p.Syncs)) // arrival time per sync
+
+	res := &Result{
+		Plan:  p,
+		Start: make([]int, n), Finish: make([]int, n),
+		SyncOps: len(p.Syncs),
+	}
+	inSyncs := make([][]int, n)
+	for k, e := range p.Syncs {
+		inSyncs[e.To] = append(inSyncs[e.To], k)
+	}
+
+	// Process nodes in per-processor order, interleaved by readiness:
+	// repeatedly advance any processor whose next instruction has all
+	// tokens computed. Token availability depends only on earlier list
+	// positions, so a simple worklist over processors terminates.
+	pos := make([]int, len(s.Procs))
+	clock := make([]int, len(s.Procs))
+	instrs := make([][]int, len(s.Procs))
+	for pi, tl := range s.Procs {
+		for _, it := range tl {
+			if !it.IsBarrier {
+				instrs[pi] = append(instrs[pi], it.Node)
+			}
+		}
+	}
+	computed := make([]bool, n)
+	for {
+		progress := false
+		done := true
+		for pi := range instrs {
+			for pos[pi] < len(instrs[pi]) {
+				node := instrs[pi][pos[pi]]
+				ready := true
+				for _, k := range inSyncs[node] {
+					if !computed[p.Syncs[k].From] {
+						ready = false
+						break
+					}
+				}
+				if !ready {
+					done = false
+					break
+				}
+				start := clock[pi]
+				for _, k := range inSyncs[node] {
+					if tokenAt[k] > start {
+						start = tokenAt[k]
+					}
+				}
+				res.Start[node] = start
+				finish := start + durations[node]
+				res.Finish[node] = finish
+				computed[node] = true
+				// Producer-side sends, serialized after the instruction.
+				t := finish
+				for _, k := range outSyncs[node] {
+					t += cfg.SendCost
+					res.SendCycles += cfg.SendCost
+					tokenAt[k] = t + lat[k]
+				}
+				clock[pi] = t
+				pos[pi]++
+				progress = true
+			}
+		}
+		if done {
+			break
+		}
+		if !progress {
+			return nil, fmt.Errorf("mimd: deadlock (cyclic synchronization plan)")
+		}
+	}
+	for pi := range clock {
+		if clock[pi] > res.FinishTime {
+			res.FinishTime = clock[pi]
+		}
+	}
+	return res, nil
+}
+
+// CheckDependences verifies that every DAG edge was satisfied in this
+// execution.
+func (r *Result) CheckDependences() error {
+	s := r.Plan.Schedule
+	for _, e := range s.Graph.RealEdges() {
+		if r.Finish[e.From] > r.Start[e.To] {
+			return fmt.Errorf("mimd: dependence %d→%d violated (finish %d > start %d)",
+				e.From, e.To, r.Finish[e.From], r.Start[e.To])
+		}
+	}
+	return nil
+}

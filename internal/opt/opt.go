@@ -1,0 +1,314 @@
+// Package opt implements the local optimizations the paper applies to
+// randomly generated basic blocks (section 2.2): common subexpression
+// elimination, constant folding, value propagation, and dead code
+// elimination, plus a small set of algebraic simplifications. The paper
+// notes these ensure "the resulting synthetic benchmark does not contain
+// 'redundant' parallelism that might skew the results."
+//
+// Optimization preserves the original tuple numbering: surviving tuples
+// keep their generation-time numbers, so listings show the gaps visible in
+// the paper's Figure 1.
+package opt
+
+import (
+	"fmt"
+	"sort"
+
+	"barriermimd/internal/ir"
+)
+
+// Stats reports what the optimizer removed.
+type Stats struct {
+	// Input and Output are tuple counts before and after.
+	Input, Output int
+	// Folded counts operations replaced by compile-time constants.
+	Folded int
+	// CSE counts operations replaced by an earlier identical operation.
+	CSE int
+	// PropagatedLoads counts loads replaced by a known variable value.
+	PropagatedLoads int
+	// DeadStores counts stores overwritten later in the block.
+	DeadStores int
+	// DeadOps counts otherwise-unreferenced tuples removed by DCE.
+	DeadOps int
+	// Algebraic counts operations removed by identities (x+0, x*1, ...).
+	Algebraic int
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("opt: %d→%d tuples (folded %d, cse %d, propagated %d, dead stores %d, dead ops %d, algebraic %d)",
+		s.Input, s.Output, s.Folded, s.CSE, s.PropagatedLoads, s.DeadStores, s.DeadOps, s.Algebraic)
+}
+
+// value is the abstract value a tuple (or operand) evaluates to during
+// value numbering: either a compile-time constant or a reference to a
+// surviving tuple (by input position).
+type value struct {
+	c     int64
+	ref   int
+	isRef bool
+}
+
+func constVal(c int64) value { return value{c: c} }
+func refVal(pos int) value   { return value{ref: pos, isRef: true} }
+
+// key canonically identifies a computation for CSE.
+type key struct {
+	op     ir.Op
+	aRef   int
+	aConst int64
+	aIsRef bool
+	bRef   int
+	bConst int64
+	bIsRef bool
+}
+
+func makeKey(op ir.Op, a, b value) key {
+	if op.IsCommutative() && less(b, a) {
+		a, b = b, a
+	}
+	return key{op: op, aRef: a.ref, aConst: a.c, aIsRef: a.isRef,
+		bRef: b.ref, bConst: b.c, bIsRef: b.isRef}
+}
+
+func less(x, y value) bool {
+	if x.isRef != y.isRef {
+		return !x.isRef // constants order before refs
+	}
+	if x.isRef {
+		return x.ref < y.ref
+	}
+	return x.c < y.c
+}
+
+// Options selects optional passes beyond the paper's set.
+type Options struct {
+	// Algebraic enables identity simplifications (x+0, x*1, x-x, ...).
+	// The paper's optimizer does not include these (section 2.2 lists
+	// common subexpression elimination, constant folding and value
+	// propagation, and dead code elimination), so they are off by
+	// default: with tiny variable pools the x-x/x%x rules seed constants
+	// that can fold entire benchmarks away.
+	Algebraic bool
+}
+
+// Optimize applies the paper's local optimizations: common subexpression
+// elimination, constant folding, value propagation, and dead code
+// elimination. The input block is not modified. The result's IDs preserve
+// the input positions of surviving tuples (matching the paper's numbering
+// with gaps).
+func Optimize(b *ir.Block) (*ir.Block, Stats, error) {
+	return OptimizeOpts(b, Options{})
+}
+
+// OptimizeOpts is Optimize with optional extra passes.
+func OptimizeOpts(b *ir.Block, opts Options) (*ir.Block, Stats, error) {
+	if err := b.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	st := Stats{Input: b.Len()}
+
+	vals := make([]value, b.Len())    // value of each input tuple
+	varVal := make(map[string]value)  // current value of each variable
+	exprs := make(map[key]int)        // computation -> surviving input pos
+	lastStore := make(map[string]int) // variable -> input pos of final store
+	isOp := make([]bool, b.Len())     // true if tuple is a surviving op candidate
+
+	resolve := func(t ir.Tuple, k int) value {
+		if t.IsImm[k] {
+			return constVal(t.Imm[k])
+		}
+		return vals[t.Args[k]]
+	}
+
+	for i, t := range b.Tuples {
+		switch {
+		case t.Op == ir.Load:
+			if v, ok := varVal[t.Var]; ok {
+				vals[i] = v
+				st.PropagatedLoads++
+				continue
+			}
+			vals[i] = refVal(i)
+			varVal[t.Var] = vals[i]
+			isOp[i] = true
+
+		case t.Op == ir.Store:
+			v := resolve(t, 0)
+			varVal[t.Var] = v
+			if prev, ok := lastStore[t.Var]; ok {
+				_ = prev
+				st.DeadStores++
+			}
+			lastStore[t.Var] = i
+
+		case t.Op.IsBinary():
+			a, bb := resolve(t, 0), resolve(t, 1)
+			if !a.isRef && !bb.isRef {
+				c, err := ir.EvalOp(t.Op, a.c, bb.c)
+				if err != nil {
+					return nil, Stats{}, err
+				}
+				vals[i] = constVal(c)
+				st.Folded++
+				continue
+			}
+			if opts.Algebraic {
+				if v, ok := simplify(t.Op, a, bb); ok {
+					vals[i] = v
+					st.Algebraic++
+					continue
+				}
+			}
+			k := makeKey(t.Op, a, bb)
+			if pos, ok := exprs[k]; ok {
+				vals[i] = refVal(pos)
+				st.CSE++
+				continue
+			}
+			vals[i] = refVal(i)
+			exprs[k] = i
+			isOp[i] = true
+
+		default:
+			return nil, Stats{}, fmt.Errorf("opt: unsupported op %v", t.Op)
+		}
+	}
+
+	// Liveness: final stores are roots; walk back through refs.
+	live := make([]bool, b.Len())
+	var mark func(v value)
+	mark = func(v value) {
+		if !v.isRef || live[v.ref] {
+			return
+		}
+		live[v.ref] = true
+		t := b.Tuples[v.ref]
+		for k := 0; k < t.NumArgs(); k++ {
+			mark(resolve(t, k))
+		}
+	}
+	storePositions := make([]int, 0, len(lastStore))
+	for _, pos := range lastStore {
+		storePositions = append(storePositions, pos)
+	}
+	sort.Ints(storePositions)
+	for _, pos := range storePositions {
+		live[pos] = true
+		mark(resolve(b.Tuples[pos], 0))
+	}
+	for i := range isOp {
+		if isOp[i] && !live[i] {
+			st.DeadOps++
+		}
+	}
+
+	// Rebuild: surviving tuples in original order with original numbering.
+	out := &ir.Block{}
+	newPos := make(map[int]int)
+	emitOperand := func(t *ir.Tuple, k int, v value) {
+		if v.isRef {
+			t.Args[k] = newPos[v.ref]
+			t.IsImm[k] = false
+		} else {
+			t.Args[k] = ir.NoArg
+			t.IsImm[k] = true
+			t.Imm[k] = v.c
+		}
+	}
+	for i, t := range b.Tuples {
+		if !live[i] {
+			continue
+		}
+		nt := ir.Tuple{Op: t.Op, Var: t.Var, Args: [2]int{ir.NoArg, ir.NoArg}}
+		for k := 0; k < t.NumArgs(); k++ {
+			emitOperand(&nt, k, resolve(t, k))
+		}
+		newPos[i] = len(out.Tuples)
+		out.Tuples = append(out.Tuples, nt)
+		out.IDs = append(out.IDs, b.ID(i))
+	}
+	st.Output = out.Len()
+	if err := out.Validate(); err != nil {
+		return nil, Stats{}, fmt.Errorf("opt: produced invalid block: %w", err)
+	}
+	return out, st, nil
+}
+
+// simplify applies algebraic identities that are valid under the package's
+// total semantics (division and modulus by zero yield zero). It returns the
+// simplified value and true when an identity applies.
+func simplify(op ir.Op, a, b value) (value, bool) {
+	isConst := func(v value, c int64) bool { return !v.isRef && v.c == c }
+	sameRef := a.isRef && b.isRef && a.ref == b.ref
+	switch op {
+	case ir.Add:
+		if isConst(a, 0) {
+			return b, true
+		}
+		if isConst(b, 0) {
+			return a, true
+		}
+	case ir.Sub:
+		if isConst(b, 0) {
+			return a, true
+		}
+		if sameRef {
+			return constVal(0), true
+		}
+	case ir.Mul:
+		if isConst(a, 0) || isConst(b, 0) {
+			return constVal(0), true
+		}
+		if isConst(a, 1) {
+			return b, true
+		}
+		if isConst(b, 1) {
+			return a, true
+		}
+	case ir.Div:
+		if isConst(b, 1) {
+			return a, true
+		}
+		if isConst(a, 0) {
+			return constVal(0), true // 0/x == 0 even when x == 0 (total semantics)
+		}
+	case ir.Mod:
+		if isConst(b, 1) {
+			return constVal(0), true
+		}
+		if isConst(a, 0) {
+			return constVal(0), true
+		}
+		if sameRef {
+			return constVal(0), true // x%x == 0, incl. x==0 under total semantics
+		}
+	case ir.And:
+		if isConst(a, 0) || isConst(b, 0) {
+			return constVal(0), true
+		}
+		if isConst(a, -1) {
+			return b, true
+		}
+		if isConst(b, -1) {
+			return a, true
+		}
+		if sameRef {
+			return a, true
+		}
+	case ir.Or:
+		if isConst(a, 0) {
+			return b, true
+		}
+		if isConst(b, 0) {
+			return a, true
+		}
+		if isConst(a, -1) || isConst(b, -1) {
+			return constVal(-1), true
+		}
+		if sameRef {
+			return a, true
+		}
+	}
+	return value{}, false
+}

@@ -1,0 +1,314 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+
+	"barriermimd/internal/ir"
+	"barriermimd/internal/lang"
+	"barriermimd/internal/synth"
+)
+
+func compile(t *testing.T, src string) *ir.Block {
+	t.Helper()
+	b, err := lang.Compile(lang.MustParse(src))
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return b
+}
+
+func optimize(t *testing.T, src string) (*ir.Block, Stats) {
+	t.Helper()
+	out, st, err := Optimize(compile(t, src))
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	return out, st
+}
+
+func optimizeAlg(t *testing.T, src string) (*ir.Block, Stats) {
+	t.Helper()
+	out, st, err := OptimizeOpts(compile(t, src), Options{Algebraic: true})
+	if err != nil {
+		t.Fatalf("OptimizeOpts: %v", err)
+	}
+	return out, st
+}
+
+func TestCSEEliminatesCommonSubexpression(t *testing.T) {
+	out, st := optimize(t, "x = a + b\ny = a + b")
+	// Two loads, one add, two stores.
+	if counts := out.OpCounts(); counts[ir.Add] != 1 || counts[ir.Load] != 2 {
+		t.Errorf("op counts = %v, want one Add, two Loads:\n%s", counts, out.Listing(nil))
+	}
+	if st.CSE == 0 {
+		t.Error("Stats.CSE = 0")
+	}
+	if st.PropagatedLoads == 0 {
+		t.Error("Stats.PropagatedLoads = 0 (second a/b references)")
+	}
+}
+
+func TestCSECommutativeCanonicalization(t *testing.T) {
+	out, _ := optimize(t, "x = a + b\ny = b + a")
+	if counts := out.OpCounts(); counts[ir.Add] != 1 {
+		t.Errorf("commutative CSE failed:\n%s", out.Listing(nil))
+	}
+	// Sub is not commutative: a-b and b-a must both survive.
+	out, _ = optimize(t, "x = a - b\ny = b - a")
+	if counts := out.OpCounts(); counts[ir.Sub] != 2 {
+		t.Errorf("non-commutative ops wrongly merged:\n%s", out.Listing(nil))
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	out, st := optimize(t, "x = 2 + 3 * 4")
+	if out.Len() != 1 {
+		t.Fatalf("tuples = %d, want 1:\n%s", out.Len(), out.Listing(nil))
+	}
+	tp := out.Tuples[0]
+	if tp.Op != ir.Store || !tp.IsImm[0] || tp.Imm[0] != 14 {
+		t.Errorf("tuple = %+v, want Store x,#14", tp)
+	}
+	if st.Folded != 2 {
+		t.Errorf("Stats.Folded = %d, want 2", st.Folded)
+	}
+}
+
+func TestValuePropagationThroughStore(t *testing.T) {
+	// y reads x after x is assigned: the load of x must be forwarded.
+	out, _ := optimize(t, "x = a + b\ny = x * 2")
+	for _, tp := range out.Tuples {
+		if tp.Op == ir.Load && tp.Var == "x" {
+			t.Errorf("load of x survived value propagation:\n%s", out.Listing(nil))
+		}
+	}
+}
+
+func TestDeadStoreElimination(t *testing.T) {
+	out, st := optimize(t, "x = a\nx = b")
+	stores := 0
+	for _, tp := range out.Tuples {
+		if tp.Op == ir.Store {
+			stores++
+			if tp.Var != "x" {
+				t.Errorf("unexpected store %v", tp)
+			}
+		}
+	}
+	if stores != 1 {
+		t.Errorf("stores = %d, want 1:\n%s", stores, out.Listing(nil))
+	}
+	if st.DeadStores != 1 {
+		t.Errorf("Stats.DeadStores = %d, want 1", st.DeadStores)
+	}
+	// The load of a is dead once its store dies.
+	for _, tp := range out.Tuples {
+		if tp.Op == ir.Load && tp.Var == "a" {
+			t.Errorf("dead load of a survived:\n%s", out.Listing(nil))
+		}
+	}
+	if st.DeadOps == 0 {
+		t.Error("Stats.DeadOps = 0")
+	}
+}
+
+func TestAlgebraicIdentities(t *testing.T) {
+	cases := []struct {
+		src      string
+		survives map[ir.Op]int // expected op counts (besides loads/stores)
+	}{
+		{"x = a + 0", map[ir.Op]int{ir.Add: 0}},
+		{"x = 0 + a", map[ir.Op]int{ir.Add: 0}},
+		{"x = a - 0", map[ir.Op]int{ir.Sub: 0}},
+		{"x = a - a", map[ir.Op]int{ir.Sub: 0, ir.Load: 0}},
+		{"x = a * 1", map[ir.Op]int{ir.Mul: 0}},
+		{"x = a * 0", map[ir.Op]int{ir.Mul: 0, ir.Load: 0}},
+		{"x = a / 1", map[ir.Op]int{ir.Div: 0}},
+		{"x = a % 1", map[ir.Op]int{ir.Mod: 0, ir.Load: 0}},
+		{"x = a % a", map[ir.Op]int{ir.Mod: 0}},
+		{"x = a & a", map[ir.Op]int{ir.And: 0}},
+		{"x = a | a", map[ir.Op]int{ir.Or: 0}},
+		{"x = a & 0", map[ir.Op]int{ir.And: 0, ir.Load: 0}},
+		{"x = a | 0", map[ir.Op]int{ir.Or: 0}},
+	}
+	for _, c := range cases {
+		out, _ := optimizeAlg(t, c.src)
+		counts := out.OpCounts()
+		for op, want := range c.survives {
+			if counts[op] != want {
+				t.Errorf("%q: %v count = %d, want %d:\n%s", c.src, op, counts[op], want, out.Listing(nil))
+			}
+		}
+	}
+}
+
+func TestNumberingGapsPreserved(t *testing.T) {
+	// Naive tuples: 0 Load a, 1 Load b, 2 Add, 3 Store x, 4 Load a,
+	// 5 Load b, 6 Add(CSE), 7 Store y. Survivors keep IDs 0,1,2,3,7.
+	out, _ := optimize(t, "x = a + b\ny = a + b")
+	want := []int{0, 1, 2, 3, 7}
+	if out.Len() != len(want) {
+		t.Fatalf("survivors = %d, want %d:\n%s", out.Len(), len(want), out.Listing(nil))
+	}
+	for i, id := range want {
+		if out.ID(i) != id {
+			t.Errorf("survivor %d has ID %d, want %d", i, out.ID(i), id)
+		}
+	}
+}
+
+func TestOptimizeIdempotent(t *testing.T) {
+	src := "b = i + a\nh = f & d\ne = h - f\ng = c + e\ni = (f + j) - i\na = a + b"
+	once, _ := optimize(t, src)
+	twice, st, err := Optimize(once)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if twice.Len() != once.Len() {
+		t.Errorf("second pass changed tuple count %d → %d", once.Len(), twice.Len())
+	}
+	if st.CSE != 0 || st.Folded != 0 || st.DeadStores != 0 {
+		t.Errorf("second pass found more work: %+v", st)
+	}
+}
+
+func TestOptimizeRejectsInvalid(t *testing.T) {
+	if _, _, err := Optimize(&ir.Block{Tuples: []ir.Tuple{{Op: ir.Nop}}}); err == nil {
+		t.Error("Optimize accepted invalid block")
+	}
+}
+
+func TestOptimizePreservesSemantics(t *testing.T) {
+	srcs := []string{
+		"b = i + a\nh = f & d\ne = h - f\ng = c + e\ni = (f + j) - i\na = a + b",
+		"x = a + b\ny = a + b\nz = x - y",
+		"x = a\nx = b\ny = x + x",
+		"x = 2 + 3\ny = x * a\nz = y % 7\nw = z / 1\nv = w - w",
+		"p = q | q\nr = p & p\ns = r * 0\nt = s + q",
+		"a = a + 1\na = a + 1\na = a + 1",
+		"m = n % n\no = n / 1\np = 0 / n",
+	}
+	rng := rand.New(rand.NewSource(42))
+	for _, src := range srcs {
+		prog := lang.MustParse(src)
+		naive, err := lang.Compile(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, _, err := Optimize(naive)
+		if err != nil {
+			t.Fatalf("Optimize(%q): %v", src, err)
+		}
+		for trial := 0; trial < 100; trial++ {
+			mem := ir.Memory{}
+			for _, v := range prog.Variables() {
+				mem[v] = int64(rng.Intn(41) - 20)
+			}
+			want := prog.Eval(mem)
+			got, err := opt.Eval(mem)
+			if err != nil {
+				t.Fatalf("eval optimized: %v", err)
+			}
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("src %q mem %v: %s = %d, want %d\noptimized:\n%s",
+						src, mem, v, got[v], want[v], opt.Listing(nil))
+				}
+			}
+		}
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	_, st := optimize(t, "x = a + b\ny = a + b")
+	s := st.String()
+	if s == "" {
+		t.Error("Stats.String() empty")
+	}
+	if st.Input != 8 || st.Output != 5 {
+		t.Errorf("Input/Output = %d/%d, want 8/5", st.Input, st.Output)
+	}
+}
+
+func TestAlgebraicPreservesSemantics(t *testing.T) {
+	// The optional algebraic pass must also preserve meaning, including
+	// the identities that rely on the total div/mod semantics.
+	srcs := []string{
+		"x = a - a\ny = a % a\nz = 0 / a\nw = a / 1",
+		"p = a & a | a\nq = a * 0 + a * 1\nr = (a | 0) & (a & -1)",
+		"m = a + 0 - 0\nn = 1 * a * 1",
+	}
+	rng := rand.New(rand.NewSource(99))
+	for _, src := range srcs {
+		prog := lang.MustParse(src)
+		naive, err := lang.Compile(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		optb, _, err := OptimizeOpts(naive, Options{Algebraic: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 200; trial++ {
+			mem := ir.Memory{}
+			for _, v := range prog.Variables() {
+				mem[v] = int64(rng.Intn(21) - 10) // includes zero
+			}
+			want := prog.Eval(mem)
+			got, err := optb.Eval(mem)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("src %q mem %v: %s = %d, want %d\n%s",
+						src, mem, v, got[v], want[v], optb.Listing(nil))
+				}
+			}
+		}
+	}
+}
+
+func TestAlgebraicOnSyntheticCorpus(t *testing.T) {
+	// Random programs must evaluate identically with and without the
+	// algebraic pass.
+	for seed := int64(0); seed < 15; seed++ {
+		prog := synth.MustGenerate(synth.Config{Statements: 30, Variables: 5}, seed)
+		naive, err := lang.Compile(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, _, err := Optimize(naive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alg, _, err := OptimizeOpts(naive, Options{Algebraic: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alg.Len() > plain.Len() {
+			t.Errorf("seed %d: algebraic pass grew the block %d -> %d", seed, plain.Len(), alg.Len())
+		}
+		for trial := int64(0); trial < 20; trial++ {
+			mem := ir.Memory{}
+			for i := 0; i < 5; i++ {
+				mem[synth.VarName(i)] = seed*7 + trial*3 - 20
+			}
+			w, err := plain.Eval(mem)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := alg.Eval(mem)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range w {
+				if g[v] != w[v] {
+					t.Fatalf("seed %d: %s differs: %d vs %d", seed, v, g[v], w[v])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Package plot renders minimal ASCII line and scatter charts for the
+// experiment harness, standing in for the paper's figures in terminal
+// output and in EXPERIMENTS.md.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Line is one named data series.
+type Line struct {
+	Name string
+	Xs   []float64
+	Ys   []float64
+}
+
+var glyphs = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// Chart renders one or more series on a shared grid of the given interior
+// width and height, with a legend mapping glyphs to series names. X and Y
+// ranges are fitted to the data; the Y range always includes referenceY
+// bounds when provided via FitYTo.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	W, H   int
+	Series []Line
+
+	yMinSet, yMaxSet bool
+	yMin, yMax       float64
+}
+
+// FitYTo forces the Y range to [lo, hi] (e.g. [0,1] for fractions).
+func (c *Chart) FitYTo(lo, hi float64) {
+	c.yMin, c.yMax = lo, hi
+	c.yMinSet, c.yMaxSet = true, true
+}
+
+// Render draws the chart.
+func (c *Chart) Render() string {
+	w, h := c.W, c.H
+	if w <= 0 {
+		w = 60
+	}
+	if h <= 0 {
+		h = 16
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.Xs {
+			xmin = math.Min(xmin, s.Xs[i])
+			xmax = math.Max(xmax, s.Xs[i])
+			ymin = math.Min(ymin, s.Ys[i])
+			ymax = math.Max(ymax, s.Ys[i])
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		xmin, xmax, ymin, ymax = 0, 1, 0, 1
+	}
+	if c.yMinSet {
+		ymin = c.yMin
+	}
+	if c.yMaxSet {
+		ymax = c.yMax
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range c.Series {
+		g := glyphs[si%len(glyphs)]
+		for i := range s.Xs {
+			col := int(math.Round((s.Xs[i] - xmin) / (xmax - xmin) * float64(w-1)))
+			row := int(math.Round((s.Ys[i] - ymin) / (ymax - ymin) * float64(h-1)))
+			row = h - 1 - row
+			if col >= 0 && col < w && row >= 0 && row < h {
+				grid[row][col] = g
+			}
+		}
+	}
+
+	var sb strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", c.Title)
+	}
+	for r := 0; r < h; r++ {
+		yv := ymax - (ymax-ymin)*float64(r)/float64(h-1)
+		fmt.Fprintf(&sb, "%8.3f |%s|\n", yv, string(grid[r]))
+	}
+	fmt.Fprintf(&sb, "%8s +%s+\n", "", strings.Repeat("-", w))
+	fmt.Fprintf(&sb, "%8s  %-*.3f%*.3f\n", "", w/2, xmin, w-w/2, xmax)
+	if c.XLabel != "" {
+		fmt.Fprintf(&sb, "%8s  %s\n", "", center(c.XLabel, w))
+	}
+	if len(c.Series) > 1 || c.Series[0].Name != "" {
+		sb.WriteString("          legend:")
+		for si, s := range c.Series {
+			fmt.Fprintf(&sb, " %c=%s", glyphs[si%len(glyphs)], s.Name)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func center(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	pad := (w - len(s)) / 2
+	return strings.Repeat(" ", pad) + s
+}

@@ -1,0 +1,70 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartRenderBasics(t *testing.T) {
+	c := Chart{
+		Title:  "Sync Fractions",
+		XLabel: "statements",
+		W:      40, H: 10,
+		Series: []Line{
+			{Name: "barrier", Xs: []float64{5, 10, 20}, Ys: []float64{0.2, 0.15, 0.1}},
+			{Name: "serial", Xs: []float64{5, 10, 20}, Ys: []float64{0.6, 0.7, 0.75}},
+		},
+	}
+	c.FitYTo(0, 1)
+	out := c.Render()
+	for _, want := range []string{"Sync Fractions", "statements", "legend:", "*=barrier", "+=serial", "1.000", "0.000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Error("render missing glyphs")
+	}
+}
+
+func TestChartEmptySeries(t *testing.T) {
+	c := Chart{Series: []Line{{Name: "empty"}}}
+	out := c.Render()
+	if out == "" {
+		t.Error("empty chart should still render axes")
+	}
+}
+
+func TestChartDefaultsAndDegenerateRanges(t *testing.T) {
+	c := Chart{Series: []Line{{Name: "pt", Xs: []float64{3}, Ys: []float64{5}}}}
+	out := c.Render()
+	if out == "" || !strings.Contains(out, "*") {
+		t.Errorf("single point not rendered:\n%s", out)
+	}
+}
+
+func TestChartGlyphPlacement(t *testing.T) {
+	// A rising diagonal: the glyph at the top row must be in the right
+	// half, the bottom row in the left half.
+	c := Chart{
+		W: 21, H: 5,
+		Series: []Line{{Name: "diag", Xs: []float64{0, 1, 2, 3, 4}, Ys: []float64{0, 1, 2, 3, 4}}},
+	}
+	out := c.Render()
+	lines := strings.Split(out, "\n")
+	top, bottom := lines[0], lines[4]
+	topCol := strings.IndexByte(top, '*')
+	botCol := strings.IndexByte(bottom, '*')
+	if topCol < botCol {
+		t.Errorf("diagonal inverted:\n%s", out)
+	}
+}
+
+func TestCenter(t *testing.T) {
+	if got := center("ab", 6); got != "  ab" {
+		t.Errorf("center = %q", got)
+	}
+	if got := center("abcdef", 3); got != "abcdef" {
+		t.Errorf("center long = %q", got)
+	}
+}

@@ -1,0 +1,100 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+
+	"barriermimd/internal/lang"
+)
+
+func TestGenerateCFDeterministic(t *testing.T) {
+	cfg := CFConfig{Statements: 30, Variables: 6}
+	p1 := MustGenerateCF(cfg, 5)
+	p2 := MustGenerateCF(cfg, 5)
+	if p1.String() != p2.String() {
+		t.Error("same seed produced different programs")
+	}
+}
+
+func TestGenerateCFParsesBack(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		p := MustGenerateCF(CFConfig{Statements: 25, Variables: 6}, seed)
+		if _, err := lang.ParseCF(p.String()); err != nil {
+			t.Fatalf("seed %d: generated program does not reparse: %v\n%s", seed, err, p.String())
+		}
+	}
+}
+
+func TestGenerateCFContainsControlFlow(t *testing.T) {
+	sawIf, sawWhile := false, false
+	for seed := int64(0); seed < 30 && !(sawIf && sawWhile); seed++ {
+		p := MustGenerateCF(CFConfig{Statements: 40, Variables: 6}, seed)
+		s := p.String()
+		if strings.Contains(s, "if ") {
+			sawIf = true
+		}
+		if strings.Contains(s, "while ") {
+			sawWhile = true
+		}
+	}
+	if !sawIf || !sawWhile {
+		t.Errorf("generator never produced control flow: if=%v while=%v", sawIf, sawWhile)
+	}
+}
+
+func TestGenerateCFTerminates(t *testing.T) {
+	// Every generated program must terminate under the reference
+	// evaluator within a generous step budget.
+	for seed := int64(0); seed < 40; seed++ {
+		p := MustGenerateCF(CFConfig{Statements: 40, Variables: 8}, seed)
+		if _, err := p.Eval(nil, 2_000_000); err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, p.String())
+		}
+	}
+}
+
+func TestGenerateCFValidates(t *testing.T) {
+	if _, err := GenerateCF(CFConfig{Statements: 0, Variables: 5}, 1); err == nil {
+		t.Error("accepted zero statements")
+	}
+	if _, err := GenerateCF(CFConfig{Statements: 5, Variables: 1}, 1); err == nil {
+		t.Error("accepted one variable")
+	}
+}
+
+func TestMustGenerateCFPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	MustGenerateCF(CFConfig{}, 1)
+}
+
+func TestGenerateCFNoLoopWrappersLeak(t *testing.T) {
+	p := MustGenerateCF(CFConfig{Statements: 60, Variables: 6, WhileProb: 0.3}, 11)
+	var walk func(stmts []lang.Stmt)
+	walk = func(stmts []lang.Stmt) {
+		for _, s := range stmts {
+			switch s := s.(type) {
+			case lang.Assign:
+			case lang.If:
+				walk(s.Then)
+				walk(s.Else)
+			case lang.While:
+				walk(s.Body)
+			default:
+				t.Fatalf("internal statement type %T leaked", s)
+			}
+		}
+	}
+	walk(p.Stmts)
+}
+
+func TestLoopWrapperStringIsParseable(t *testing.T) {
+	g := &cfGen{cfg: CFConfig{Statements: 5, Variables: 3}.withDefaults(), rng: newTestRNG()}
+	lw := g.whileLoop(2, 1).(loopWrapper)
+	if _, err := lang.ParseCF(lw.String()); err != nil {
+		t.Errorf("wrapper render does not parse: %v\n%s", err, lw.String())
+	}
+}

@@ -1,0 +1,211 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"barriermimd/internal/dag"
+	"barriermimd/internal/ir"
+	"barriermimd/internal/lang"
+	"barriermimd/internal/opt"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Statements: 20, Variables: 8}
+	p1 := MustGenerate(cfg, 123)
+	p2 := MustGenerate(cfg, 123)
+	if p1.String() != p2.String() {
+		t.Error("same seed produced different programs")
+	}
+	p3 := MustGenerate(cfg, 124)
+	if p1.String() == p3.String() {
+		t.Error("different seeds produced identical programs")
+	}
+}
+
+func TestGenerateStatementCount(t *testing.T) {
+	for _, n := range []int{5, 20, 60, 100} {
+		p := MustGenerate(Config{Statements: n, Variables: 10}, 1)
+		if len(p.Stmts) != n {
+			t.Errorf("Statements=%d produced %d statements", n, len(p.Stmts))
+		}
+	}
+}
+
+func TestGenerateVariablePool(t *testing.T) {
+	p := MustGenerate(Config{Statements: 200, Variables: 5}, 7)
+	for _, v := range p.Variables() {
+		found := false
+		for i := 0; i < 5; i++ {
+			if v == VarName(i) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("variable %q outside pool", v)
+		}
+	}
+}
+
+func TestGenerateValidatesConfig(t *testing.T) {
+	if _, err := Generate(Config{Statements: 0, Variables: 5}, 1); err == nil {
+		t.Error("accepted zero statements")
+	}
+	if _, err := Generate(Config{Statements: 5, Variables: 1}, 1); err == nil {
+		t.Error("accepted one variable")
+	}
+}
+
+func TestMustGeneratePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGenerate did not panic")
+		}
+	}()
+	MustGenerate(Config{}, 1)
+}
+
+func TestOperatorFrequenciesMatchTable1(t *testing.T) {
+	// Generate a large corpus and compare observed operator frequencies
+	// against Table 1. This is the generator half of the paper's Table 1.
+	counts := make(map[ir.Op]int)
+	total := 0
+	for seed := int64(0); seed < 200; seed++ {
+		p := MustGenerate(Config{Statements: 50, Variables: 10}, seed)
+		for op, n := range p.OperatorCounts() {
+			counts[op] += n
+			total += n
+		}
+	}
+	want := map[ir.Op]float64{
+		ir.Add: 0.458, ir.Sub: 0.339, ir.And: 0.088,
+		ir.Or: 0.052, ir.Mul: 0.029, ir.Div: 0.022, ir.Mod: 0.012,
+	}
+	for op, w := range want {
+		got := float64(counts[op]) / float64(total)
+		if math.Abs(got-w) > 0.02 {
+			t.Errorf("frequency of %v = %.3f, want %.3f ± 0.02", op, got, w)
+		}
+	}
+}
+
+func TestGeneratedProgramsCompileAndOptimize(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		prog := MustGenerate(Config{Statements: 40, Variables: 10}, seed)
+		naive, err := lang.Compile(prog)
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v", seed, err)
+		}
+		optb, _, err := opt.Optimize(naive)
+		if err != nil {
+			t.Fatalf("seed %d: optimize: %v", seed, err)
+		}
+		if _, err := dag.Build(optb, ir.DefaultTimings()); err != nil {
+			t.Fatalf("seed %d: dag: %v", seed, err)
+		}
+	}
+}
+
+func TestGeneratedSemanticsPreservedThroughPipeline(t *testing.T) {
+	// End-to-end property: AST semantics == optimized tuple semantics on
+	// random memories, across many random programs.
+	for seed := int64(0); seed < 25; seed++ {
+		prog := MustGenerate(Config{Statements: 30, Variables: 8}, seed)
+		naive, err := lang.Compile(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		optb, _, err := opt.Optimize(naive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 20; trial++ {
+			mem := ir.Memory{}
+			for i := 0; i < 8; i++ {
+				mem[VarName(i)] = int64((seed*31+int64(trial)*17+int64(i)*7)%201 - 100)
+			}
+			want := prog.Eval(mem)
+			got, err := optb.Eval(mem)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("seed %d: %s = %d, want %d", seed, v, got[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestFig14PopulationSyncRange(t *testing.T) {
+	// The paper's figure 14 population has 65–132 implied syncs per
+	// benchmark. Check our default expression shape lands big benchmarks
+	// in (roughly) that band.
+	var below, inside, above int
+	for seed := int64(0); seed < 50; seed++ {
+		prog := MustGenerate(Config{Statements: 60, Variables: 10}, seed)
+		naive, err := lang.Compile(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		optb, _, err := opt.Optimize(naive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := dag.Build(optb, ir.DefaultTimings())
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch tis := g.TotalImpliedSynchronizations(); {
+		case tis < 65:
+			below++
+		case tis > 132:
+			above++
+		default:
+			inside++
+		}
+	}
+	if inside < 25 {
+		t.Errorf("only %d/50 benchmarks inside the 65–132 sync band (below=%d above=%d)",
+			inside, below, above)
+	}
+}
+
+func TestFrequencyTablePickCoversAllOps(t *testing.T) {
+	ft := Table1Frequencies()
+	seen := make(map[ir.Op]bool)
+	p := MustGenerate(Config{Statements: 3000, Variables: 5}, 99)
+	for op := range p.OperatorCounts() {
+		seen[op] = true
+	}
+	for _, e := range ft {
+		if !seen[e.Op] {
+			t.Errorf("operator %v never generated in 3000 statements", e.Op)
+		}
+	}
+}
+
+func TestGenerateNoZeroConstants(t *testing.T) {
+	// Zero constants would make Div/Mod hit the total-semantics fallback
+	// and let the folder erase too much; the generator excludes them.
+	p := MustGenerate(Config{Statements: 500, Variables: 4, ConstProb: 0.9}, 3)
+	var walk func(e lang.Expr)
+	walk = func(e lang.Expr) {
+		switch e := e.(type) {
+		case lang.Const:
+			if e.Value == 0 {
+				t.Error("generated a zero constant")
+			}
+		case lang.Binary:
+			walk(e.L)
+			walk(e.R)
+		}
+	}
+	for _, s := range p.Stmts {
+		walk(s.RHS)
+	}
+}
+
+func newTestRNG() *rand.Rand { return rand.New(rand.NewSource(1)) }

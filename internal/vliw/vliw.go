@@ -1,0 +1,114 @@
+// Package vliw implements the VLIW execution model used as the comparison
+// baseline in section 6 of the paper: a lock-step machine with no
+// asynchrony, in which every instruction is assumed to require its maximum
+// execution time. Scheduling uses the same critical-path list ordering as
+// the barrier scheduler, so differences in completion time reflect the
+// machine models rather than the heuristics.
+package vliw
+
+import (
+	"fmt"
+	"sort"
+
+	"barriermimd/internal/dag"
+)
+
+// Result is a VLIW schedule for one basic block.
+type Result struct {
+	// Units is the number of functional units (processing elements).
+	Units int
+	// Makespan is the completion time with every instruction at maximum
+	// time (the VLIW has no timing slack: this is also its best case).
+	Makespan int
+	// Start and Unit give each real node's issue cycle and unit.
+	Start []int
+	// Unit maps each real node to the functional unit that executes it.
+	Unit []int
+}
+
+// Schedule list-schedules the DAG onto a VLIW with the given number of
+// units. Nodes are ordered by descending maximum height; each node issues
+// at the earliest cycle at which its operands are complete and some unit is
+// free.
+func Schedule(g *dag.Graph, units int) (*Result, error) {
+	if units < 1 {
+		return nil, fmt.Errorf("vliw: units = %d, need >= 1", units)
+	}
+	h, err := g.Heights()
+	if err != nil {
+		return nil, err
+	}
+	order := make([]int, g.N)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		na, nb := order[a], order[b]
+		if h.Max[na] != h.Max[nb] {
+			return h.Max[na] > h.Max[nb]
+		}
+		return h.Min[na] > h.Min[nb]
+	})
+
+	res := &Result{
+		Units: units,
+		Start: make([]int, g.N),
+		Unit:  make([]int, g.N),
+	}
+	finish := make([]int, g.N)
+	unitFree := make([]int, units)
+	for _, n := range order {
+		ready := 0
+		for _, p := range g.Preds(n) {
+			if g.IsDummy(p) {
+				continue
+			}
+			if finish[p] > ready {
+				ready = finish[p]
+			}
+		}
+		best, bestStart := 0, -1
+		for u := 0; u < units; u++ {
+			start := ready
+			if unitFree[u] > start {
+				start = unitFree[u]
+			}
+			if bestStart < 0 || start < bestStart {
+				best, bestStart = u, start
+			}
+		}
+		res.Start[n] = bestStart
+		res.Unit[n] = best
+		finish[n] = bestStart + g.Time[n].Max
+		unitFree[best] = finish[n]
+		if finish[n] > res.Makespan {
+			res.Makespan = finish[n]
+		}
+	}
+	return res, nil
+}
+
+// Validate checks that the schedule respects dependences and unit
+// exclusivity.
+func (r *Result) Validate(g *dag.Graph) error {
+	finish := func(n int) int { return r.Start[n] + g.Time[n].Max }
+	for _, e := range g.RealEdges() {
+		if finish(e.From) > r.Start[e.To] {
+			return fmt.Errorf("vliw: dependence %v violated", e)
+		}
+	}
+	// Unit exclusivity: sort nodes per unit by start and check overlap.
+	perUnit := make(map[int][]int)
+	for n := 0; n < g.N; n++ {
+		perUnit[r.Unit[n]] = append(perUnit[r.Unit[n]], n)
+	}
+	for u, nodes := range perUnit {
+		sort.Slice(nodes, func(a, b int) bool { return r.Start[nodes[a]] < r.Start[nodes[b]] })
+		for k := 1; k < len(nodes); k++ {
+			if finish(nodes[k-1]) > r.Start[nodes[k]] {
+				return fmt.Errorf("vliw: unit %d overlap between nodes %d and %d", u, nodes[k-1], nodes[k])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,8 @@
+# Unrolled 4-element dot product: independent multiplies, a reduction tree.
+p0 = a0 * b0
+p1 = a1 * b1
+p2 = a2 * b2
+p3 = a3 * b3
+s0 = p0 + p1
+s1 = p2 + p3
+dot = s0 + s1

@@ -1,0 +1,7 @@
+# Control-flow program for bmrun: factorial of n.
+# go run ./cmd/bmrun -set n=6 testdata/factorial.bb
+f = 1
+while n {
+  f = f * n
+  n = n - 1
+}

@@ -1,0 +1,7 @@
+# The statements behind the paper's Figure 1 tuple listing.
+b = i + a
+h = f & d
+e = h - f
+g = c + e
+i = (f + j) - i
+a = a + b

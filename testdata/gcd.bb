@@ -1,0 +1,7 @@
+# Control-flow program for bmrun: Euclid's gcd via repeated remainder.
+# go run ./cmd/bmrun -set a=252 -set b=105 testdata/gcd.bb
+while b {
+  t = b
+  b = a % b
+  a = t
+}
