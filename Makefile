@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test race vet fmt-check bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" ; echo "$$out"; exit 1; \
+	fi
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# Everything the CI gate runs.
+check: build vet fmt-check test race

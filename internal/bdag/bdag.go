@@ -1,16 +1,3 @@
-// Package bdag implements the barrier dag (B, <_b) of section 3.1 of the
-// paper: a partially ordered set of barriers drawn as a directed acyclic
-// graph whose edges carry the minimum and maximum execution times of the
-// code regions between barriers.
-//
-// Edge weights follow the Figure 13 rule: because no processor proceeds
-// past a barrier until all participants arrive, the minimum time of edge
-// (u,v) is the maximum over participating processors of each processor's
-// minimum region time, and likewise for the maximum.
-//
-// The graph is cheap to construct, so the scheduler rebuilds it from the
-// schedule's per-processor timelines after every barrier insertion or merge
-// rather than mutating it incrementally.
 package bdag
 
 import (
@@ -34,10 +21,17 @@ type Edge struct {
 
 // Graph is a barrier dag. Create with New, add barriers with AddBarrier,
 // and contribute per-processor code-region times with AddRegion.
+//
+// Path queries (HasPath, Topo, LongestFrom, Dominators, PathsBetween) are
+// memoized per graph generation — see memo.go — and any mutation drops
+// the caches, so query results are always consistent with the current
+// structure. Cached slices are shared between callers: treat every slice
+// returned by a query as read-only.
 type Graph struct {
 	parts [][]int             // participants per barrier, sorted
 	out   []map[int]ir.Timing // aggregated edge weights
 	in    []map[int]struct{}  // reverse adjacency
+	memo  memo                // query caches, dropped on mutation
 }
 
 // New returns a graph containing only the initial barrier across the given
@@ -54,12 +48,20 @@ func (g *Graph) Len() int { return len(g.parts) }
 // AddBarrier appends a barrier with the given participating processors and
 // returns its index.
 func (g *Graph) AddBarrier(participants []int) int {
+	g.invalidate()
 	p := append([]int(nil), participants...)
 	sort.Ints(p)
 	g.parts = append(g.parts, p)
 	g.out = append(g.out, make(map[int]ir.Timing))
 	g.in = append(g.in, make(map[int]struct{}))
 	return len(g.parts) - 1
+}
+
+// invalidate drops the memoized query caches after a mutation.
+func (g *Graph) invalidate() {
+	g.memo.mu.Lock()
+	g.memo.invalidate()
+	g.memo.mu.Unlock()
 }
 
 // Participants returns the sorted processor set of barrier b. Shared; do
@@ -73,6 +75,7 @@ func (g *Graph) AddRegion(u, v int, t ir.Timing) {
 	if u == v {
 		panic(fmt.Sprintf("bdag: self edge on barrier %d", u))
 	}
+	g.invalidate()
 	cur, ok := g.out[u][v]
 	if !ok {
 		g.out[u][v] = t
@@ -95,8 +98,16 @@ func (g *Graph) EdgeTiming(u, v int) (ir.Timing, bool) {
 	return t, ok
 }
 
-// Succs returns the successors of u in ascending order.
+// Succs returns the successors of u in ascending order. The slice is
+// memoized and shared; do not modify.
 func (g *Graph) Succs(u int) []int {
+	g.memo.mu.Lock()
+	defer g.memo.mu.Unlock()
+	return g.succsLocked(u)
+}
+
+// computeSuccs builds the ascending successor list of u.
+func (g *Graph) computeSuccs(u int) []int {
 	out := make([]int, 0, len(g.out[u]))
 	for v := range g.out[u] {
 		out = append(out, v)
@@ -132,28 +143,36 @@ func (g *Graph) Edges() []Edge {
 	return out
 }
 
-// HasPath reports whether v is reachable from u (u == v counts).
+// HasPath reports whether v is reachable from u (u == v counts). The
+// full reachability set of u is computed once and memoized, so repeated
+// queries from the same source are O(1).
 func (g *Graph) HasPath(u, v int) bool {
 	if u == v {
 		return true
 	}
+	g.memo.mu.Lock()
+	defer g.memo.mu.Unlock()
+	return g.reachLocked(u)[v]
+}
+
+// computeReach returns the reachability set of u (including u itself).
+// Called with memo.mu held; walks the cached adjacency slices rather than
+// the edge maps, which is markedly faster than map iteration.
+func (g *Graph) computeReach(u int) []bool {
 	seen := make([]bool, g.Len())
 	stack := []int{u}
 	seen[u] = true
 	for len(stack) > 0 {
 		x := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for s := range g.out[x] {
-			if s == v {
-				return true
-			}
+		for _, s := range g.succsLocked(x) {
 			if !seen[s] {
 				seen[s] = true
 				stack = append(stack, s)
 			}
 		}
 	}
-	return false
+	return seen
 }
 
 // Ordered reports whether barriers a and b are ordered by <_b (a path
@@ -164,8 +183,16 @@ func (g *Graph) Ordered(a, b int) bool {
 }
 
 // Topo returns a topological order (initial barrier first), or an error if
-// the graph is cyclic (which indicates a scheduler bug).
+// the graph is cyclic (which indicates a scheduler bug). The order is
+// memoized and shared; do not modify.
 func (g *Graph) Topo() ([]int, error) {
+	g.memo.mu.Lock()
+	defer g.memo.mu.Unlock()
+	return g.topoLocked()
+}
+
+// computeTopo builds the topological order. Called with memo.mu held.
+func (g *Graph) computeTopo() ([]int, error) {
 	n := g.Len()
 	indeg := make([]int, n)
 	for v := range g.in {
@@ -183,7 +210,7 @@ func (g *Graph) Topo() ([]int, error) {
 		v := ready[0]
 		ready = ready[1:]
 		order = append(order, v)
-		for _, s := range g.Succs(v) {
+		for _, s := range g.succsLocked(v) {
 			indeg[s]--
 			if indeg[s] == 0 {
 				ready = append(ready, s)
@@ -206,12 +233,17 @@ func weight(t ir.Timing, useMax bool) int {
 
 // LongestFrom computes, for every barrier, the longest-path distance from u
 // using maximum (useMax) or minimum edge weights. Unreachable barriers get
-// Unreachable. dist[u] == 0.
+// Unreachable. dist[u] == 0. The vector is memoized per (u, useMax) and
+// shared; do not modify.
 func (g *Graph) LongestFrom(u int, useMax bool) ([]int, error) {
-	order, err := g.Topo()
-	if err != nil {
-		return nil, err
-	}
+	g.memo.mu.Lock()
+	defer g.memo.mu.Unlock()
+	return g.distLocked(u, useMax)
+}
+
+// computeLongestFrom runs the topological-order relaxation given a
+// precomputed order.
+func (g *Graph) computeLongestFrom(order []int, u int, useMax bool) []int {
 	dist := make([]int, g.Len())
 	for i := range dist {
 		dist[i] = Unreachable
@@ -227,7 +259,7 @@ func (g *Graph) LongestFrom(u int, useMax bool) ([]int, error) {
 			}
 		}
 	}
-	return dist, nil
+	return dist
 }
 
 // FireWindows returns, for every barrier, the earliest and latest firing
@@ -249,12 +281,17 @@ func (g *Graph) FireWindows() (min, max []int, err error) {
 // Dominators computes the immediate dominator of every barrier with respect
 // to the initial barrier, using the iterative dataflow algorithm. The
 // initial barrier's idom is itself. Barriers unreachable from the initial
-// barrier get idom -1 (they cannot occur in a valid schedule).
+// barrier get idom -1 (they cannot occur in a valid schedule). The vector
+// is memoized and shared; do not modify.
 func (g *Graph) Dominators() ([]int, error) {
-	order, err := g.Topo()
-	if err != nil {
-		return nil, err
-	}
+	g.memo.mu.Lock()
+	defer g.memo.mu.Unlock()
+	return g.idomLocked()
+}
+
+// computeDominators runs the iterative dataflow algorithm given a
+// precomputed topological order.
+func (g *Graph) computeDominators(order []int) []int {
 	pos := make([]int, g.Len())
 	for k, v := range order {
 		pos[v] = k
@@ -301,7 +338,7 @@ func (g *Graph) Dominators() ([]int, error) {
 			}
 		}
 	}
-	return idom, nil
+	return idom
 }
 
 // CommonDominator returns the nearest common dominator of barriers a and b:

@@ -1,0 +1,22 @@
+// Package bdag implements the barrier dag (B, <_b) of section 3.1 of the
+// paper: a partially ordered set of barriers drawn as a directed acyclic
+// graph whose edges carry the minimum and maximum execution times of the
+// code regions between barriers. It is the timing engine behind the
+// section 4.4.1 conservative and section 4.4.2 "optimal" insertion rules,
+// which both ask path questions of this graph (is there a barrier ordering
+// producer before consumer? how much time must/can elapse along it?).
+//
+// Edge weights follow the Figure 13 rule: because no processor proceeds
+// past a barrier until all participants arrive, the minimum time of edge
+// (u,v) is the maximum over participating processors of each processor's
+// minimum region time, and likewise for the maximum.
+//
+// The graph is cheap to construct, so the scheduler rebuilds it from the
+// schedule's per-processor timelines after every barrier insertion or merge
+// rather than mutating it incrementally. Between mutations the expensive
+// queries — topological order, reachability (HasPath), longest min/max
+// paths (LongestFrom), dominators, and the k-path enumeration behind the
+// optimal inserter (PathsBetween) — are memoized on the Graph and
+// invalidated wholesale by AddBarrier/AddRegion; CacheStats reports the
+// hit rate.
+package bdag

@@ -1,0 +1,177 @@
+package bdag
+
+import (
+	"sync"
+
+	"barriermimd/internal/metrics"
+)
+
+// The scheduler issues the same path queries many times between barrier
+// mutations: every producer/consumer check walks longest paths from its
+// common dominator, every insertion re-verifies all pending pairs through
+// HasPath, and the optimal inserter re-enumerates k-longest paths. The
+// graph is immutable between mutations (the scheduler rebuilds it rather
+// than patching it), so all of these are memoized here and invalidated
+// wholesale by AddBarrier/AddRegion. Repeated queries then cost O(1)
+// instead of a fresh traversal.
+//
+// Cached results (topological orders, distance vectors, reachability
+// sets, path lists, adjacency lists) are returned as shared slices;
+// callers must treat them as read-only.
+
+// distKey identifies one LongestFrom result.
+type distKey struct {
+	src    int
+	useMax bool
+}
+
+// pathKey identifies one PathsBetween result (limit already normalized).
+type pathKey struct {
+	u, v, limit int
+}
+
+// memo holds the per-graph query caches. The mutex makes a finished graph
+// safe for concurrent readers (experiment trials share schedules across
+// worker goroutines); within one scheduling run there is no contention.
+type memo struct {
+	mu sync.Mutex
+
+	topoSet bool
+	topo    []int
+	topoErr error
+
+	idomSet bool
+	idom    []int
+	idomErr error
+
+	succs [][]int
+	reach map[int][]bool
+	dist  map[distKey][]int
+	paths map[pathKey][]Path
+
+	stats metrics.CacheStats
+}
+
+// invalidate drops every cached query result. Counters survive: they
+// describe the graph's lifetime, not one generation.
+func (m *memo) invalidate() {
+	m.topoSet, m.topo, m.topoErr = false, nil, nil
+	m.idomSet, m.idom, m.idomErr = false, nil, nil
+	m.succs = nil
+	m.reach = nil
+	m.dist = nil
+	m.paths = nil
+}
+
+// CacheStats returns the accumulated hit/miss counters of the graph's
+// memoized path queries (Topo, Dominators, LongestFrom, HasPath,
+// PathsBetween).
+func (g *Graph) CacheStats() metrics.CacheStats {
+	g.memo.mu.Lock()
+	defer g.memo.mu.Unlock()
+	return g.memo.stats
+}
+
+// topoLocked returns the cached topological order; memo.mu must be held.
+func (g *Graph) topoLocked() ([]int, error) {
+	m := &g.memo
+	if m.topoSet {
+		m.stats.Hits++
+		return m.topo, m.topoErr
+	}
+	m.stats.Misses++
+	m.topo, m.topoErr = g.computeTopo()
+	m.topoSet = true
+	return m.topo, m.topoErr
+}
+
+// idomLocked returns the cached immediate-dominator vector; memo.mu must
+// be held.
+func (g *Graph) idomLocked() ([]int, error) {
+	m := &g.memo
+	if m.idomSet {
+		m.stats.Hits++
+		return m.idom, m.idomErr
+	}
+	m.stats.Misses++
+	order, err := g.topoLocked()
+	if err != nil {
+		m.idom, m.idomErr = nil, err
+	} else {
+		m.idom, m.idomErr = g.computeDominators(order), nil
+	}
+	m.idomSet = true
+	return m.idom, m.idomErr
+}
+
+// succsLocked returns the cached ascending successor list of u; memo.mu
+// must be held.
+func (g *Graph) succsLocked(u int) []int {
+	m := &g.memo
+	if m.succs == nil {
+		m.succs = make([][]int, g.Len())
+	}
+	if m.succs[u] == nil {
+		m.succs[u] = g.computeSuccs(u)
+	}
+	return m.succs[u]
+}
+
+// reachLocked returns the cached reachability set of u (reach[v] reports
+// whether v is reachable from u, with reach[u] true); memo.mu must be
+// held.
+func (g *Graph) reachLocked(u int) []bool {
+	m := &g.memo
+	if m.reach == nil {
+		m.reach = make(map[int][]bool, g.Len())
+	}
+	if r, ok := m.reach[u]; ok {
+		m.stats.Hits++
+		return r
+	}
+	m.stats.Misses++
+	r := g.computeReach(u)
+	m.reach[u] = r
+	return r
+}
+
+// distLocked returns the cached LongestFrom vector; memo.mu must be held.
+// Errors (a cyclic graph) are not cached: they indicate a scheduler bug
+// and abort the run anyway.
+func (g *Graph) distLocked(src int, useMax bool) ([]int, error) {
+	m := &g.memo
+	key := distKey{src, useMax}
+	if m.dist == nil {
+		m.dist = make(map[distKey][]int)
+	}
+	if d, ok := m.dist[key]; ok {
+		m.stats.Hits++
+		return d, nil
+	}
+	m.stats.Misses++
+	order, err := g.topoLocked()
+	if err != nil {
+		return nil, err
+	}
+	d := g.computeLongestFrom(order, src, useMax)
+	m.dist[key] = d
+	return d, nil
+}
+
+// pathsLocked returns the cached PathsBetween list; memo.mu must be held
+// and limit already normalized.
+func (g *Graph) pathsLocked(u, v, limit int) []Path {
+	m := &g.memo
+	key := pathKey{u, v, limit}
+	if m.paths == nil {
+		m.paths = make(map[pathKey][]Path)
+	}
+	if p, ok := m.paths[key]; ok {
+		m.stats.Hits++
+		return p
+	}
+	m.stats.Misses++
+	p := g.computePathsBetween(u, v, limit)
+	m.paths[key] = p
+	return p
+}

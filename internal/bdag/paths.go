@@ -34,11 +34,19 @@ func (g *Graph) MaxLen(p Path) int {
 // sequence of section 4.4.2. Barrier dags are small (one node per inserted
 // barrier), so bounded exhaustive enumeration is practical; limit guards
 // against pathological blowup. If more than limit paths exist, the longest
-// limit paths are returned.
+// limit paths are returned. The result is memoized per (u, v, limit) and
+// shared; do not modify.
 func (g *Graph) PathsBetween(u, v int, limit int) []Path {
 	if limit <= 0 {
 		limit = 64
 	}
+	g.memo.mu.Lock()
+	defer g.memo.mu.Unlock()
+	return g.pathsLocked(u, v, limit)
+}
+
+// computePathsBetween enumerates the paths. Called with memo.mu held.
+func (g *Graph) computePathsBetween(u, v, limit int) []Path {
 	// Only explore nodes that can still reach v.
 	reachesV := make([]bool, g.Len())
 	{
@@ -67,7 +75,7 @@ func (g *Graph) PathsBetween(u, v int, limit int) []Path {
 		if x == v {
 			out = append(out, append(Path(nil), cur...))
 		} else {
-			for _, s := range g.Succs(x) {
+			for _, s := range g.succsLocked(x) {
 				if reachesV[s] {
 					dfs(s)
 				}

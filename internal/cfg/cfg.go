@@ -1,21 +1,3 @@
-// Package cfg extends the paper's basic-block scheduler to programs with
-// arbitrary control flow — the extension named as ongoing work in the
-// paper's conclusion ("extension of the basic scheduling techniques to more
-// complex code structures (including arbitrary control flow)" [OKee90]).
-//
-// The model is the natural conservative one for a barrier MIMD: the whole
-// machine executes one basic block at a time. A program is lowered to a
-// control-flow graph of basic blocks; each block is compiled and scheduled
-// with the section 4 algorithms in isolation; and a full barrier across all
-// processors separates consecutive blocks at run time. Because an SBM
-// barrier releases all processors in exact synchrony, every block starts
-// with zero timing fuzziness, exactly as the paper's intra-block analysis
-// assumes — control transfers simply reset the static timing the same way
-// an inserted barrier does.
-//
-// Branch decisions are taken from the final value of a compiler-generated
-// condition variable after the block's barrier, so all processors agree on
-// the successor block.
 package cfg
 
 import (
@@ -27,6 +9,7 @@ import (
 	"barriermimd/internal/ir"
 	"barriermimd/internal/lang"
 	"barriermimd/internal/opt"
+	"barriermimd/internal/pool"
 )
 
 // TermKind classifies a basic block's terminator.
@@ -169,9 +152,15 @@ func (p *Program) lower(stmts []lang.Stmt, cur *BasicBlock) (*BasicBlock, error)
 }
 
 // Compile compiles and schedules every basic block with the section 4
-// pipeline under the given scheduler options and timing model.
+// pipeline under the given scheduler options and timing model. Blocks are
+// independent (each starts at a full machine-wide barrier), so they are
+// compiled concurrently across up to opts.Parallelism workers
+// (0 = GOMAXPROCS); every block's schedule depends only on its own
+// contents and the options, so the result is identical for any
+// Parallelism value.
 func (p *Program) Compile(opts core.Options, tm ir.TimingModel) error {
-	for _, b := range p.Blocks {
+	return pool.ForEach(opts.Parallelism, len(p.Blocks), func(i int) error {
+		b := p.Blocks[i]
 		flat := &lang.Program{Stmts: b.Assigns}
 		naive, err := lang.Compile(flat)
 		if err != nil {
@@ -192,8 +181,8 @@ func (p *Program) Compile(opts core.Options, tm ir.TimingModel) error {
 			return fmt.Errorf("cfg: block B%d: %w", b.ID, err)
 		}
 		b.Tuples, b.Graph, b.Sched = optimized, g, s
-	}
-	return nil
+		return nil
+	})
 }
 
 // Compiled reports whether Compile has run.

@@ -1,0 +1,72 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"barriermimd/internal/core"
+	"barriermimd/internal/dag"
+)
+
+// schedBatch implements bmsched's multi-file mode: compile every input
+// file, schedule all of them concurrently across opts.Parallelism workers
+// (the -j flag), and print one summary line per file in argument order
+// followed by aggregate counters. Item i is scheduled with seed
+// opts.Seed + i, exactly as core.ScheduleBatch documents, so output is
+// identical for every -j value.
+func schedBatch(paths []string, opts core.Options, asJSON bool, stdout, stderr io.Writer) int {
+	gs := make([]*dag.Graph, len(paths))
+	for i, path := range paths {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return fail(stderr, "bmsched", err)
+		}
+		block, err := compileSource(string(src))
+		if err != nil {
+			return fail(stderr, "bmsched", fmt.Errorf("%s: %w", path, err))
+		}
+		if gs[i], err = buildDAG(block); err != nil {
+			return fail(stderr, "bmsched", fmt.Errorf("%s: %w", path, err))
+		}
+	}
+
+	scheds, err := core.ScheduleBatch(gs, opts)
+	if err != nil {
+		return fail(stderr, "bmsched", err)
+	}
+
+	if asJSON {
+		fmt.Fprintln(stdout, "[")
+		for i, s := range scheds {
+			raw, jerr := s.ExportJSON()
+			if jerr != nil {
+				return fail(stderr, "bmsched", fmt.Errorf("%s: %w", paths[i], jerr))
+			}
+			stdout.Write(raw)
+			if i < len(scheds)-1 {
+				fmt.Fprintln(stdout, ",")
+			} else {
+				fmt.Fprintln(stdout)
+			}
+		}
+		fmt.Fprintln(stdout, "]")
+		return 0
+	}
+
+	for i, s := range scheds {
+		mn, mx, serr := s.StaticSpan()
+		if serr != nil {
+			return fail(stderr, "bmsched", fmt.Errorf("%s: %w", paths[i], serr))
+		}
+		fmt.Fprintf(stdout, "%-24s %s span=[%d,%d]\n", paths[i], s.Metrics.String(), mn, mx)
+	}
+	total := core.BatchMetrics(scheds)
+	fmt.Fprintf(stdout, "\nbatch: %d files\n", len(paths))
+	fmt.Fprintf(stdout, "  %s\n", total.String())
+	fmt.Fprintf(stdout, "  path-cache: %s\n", total.PathCache.String())
+	if total.Stages != nil {
+		fmt.Fprintf(stdout, "  stages:     %s\n", total.Stages.String())
+	}
+	return 0
+}

@@ -1,7 +1,3 @@
-// Package cli implements the command-line tools (bmgen, bmsched, bmsim,
-// bmrun, bmexp) as testable functions: each takes an argument list and I/O
-// streams and returns a process exit code. The cmd/ main packages are thin
-// wrappers.
 package cli
 
 import (

@@ -329,6 +329,82 @@ func TestSchedFromListing(t *testing.T) {
 	}
 }
 
+func TestSchedBatchMode(t *testing.T) {
+	fig1 := "../../testdata/fig1.bb"
+	dot := "../../testdata/dotproduct.bb"
+	code, out, errb := runSched([]string{"-procs", "4", "-j", "2", fig1, dot}, t, "")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	for _, want := range []string{fig1, dot, "batch: 2 files", "path-cache:", "stages:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	// The batch summary must be identical regardless of worker count.
+	for _, j := range []string{"1", "4"} {
+		_, again, _ := runSched([]string{"-procs", "4", "-j", j, fig1, dot}, t, "")
+		// Stage wall times are nondeterministic; compare everything above them.
+		trim := func(s string) string { return strings.Split(s, "stages:")[0] }
+		if trim(again) != trim(out) {
+			t.Errorf("-j %s changed batch output", j)
+		}
+	}
+}
+
+func TestSchedBatchJSON(t *testing.T) {
+	code, out, errb := runSched(
+		[]string{"-json", "../../testdata/fig1.bb", "../../testdata/dotproduct.bb"}, t, "")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	trimmed := strings.TrimSpace(out)
+	if !strings.HasPrefix(trimmed, "[") || !strings.HasSuffix(trimmed, "]") {
+		t.Errorf("not a JSON array:\n%.200s", out)
+	}
+	if strings.Count(out, `"timelines"`) != 2 {
+		t.Errorf("want 2 exported schedules:\n%.300s", out)
+	}
+}
+
+func TestSchedBatchBadFile(t *testing.T) {
+	if code, _, _ := runSched(
+		[]string{"../../testdata/fig1.bb", "/nonexistent/x.bb"}, t, ""); code == 0 {
+		t.Error("accepted missing file in batch")
+	}
+}
+
+func TestSchedProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	code, _, errb := runSched([]string{"-example", "-cpuprofile", cpu, "-memprofile", mem}, t, "")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	for _, p := range []string{cpu, mem} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Errorf("profile %s missing or empty (err=%v)", p, err)
+		}
+	}
+}
+
+func TestExpWorkersFlag(t *testing.T) {
+	base := []string{"-experiment", "fig14", "-runs", "2"}
+	code, out1, errb := runExpCmd(append(base, "-j", "1"), t, "")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	code, out4, _ := runExpCmd(append(base, "-j", "4"), t, "")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	trim := func(s string) string { return strings.Split(s, "completed in")[0] }
+	if trim(out1) != trim(out4) {
+		t.Error("-j changed bmexp report")
+	}
+}
+
 func TestTestdataPrograms(t *testing.T) {
 	code, out, errb := runSched([]string{"-procs", "4", "../../testdata/dotproduct.bb"}, t, "")
 	if code != 0 {

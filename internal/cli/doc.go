@@ -1,0 +1,16 @@
+// Package cli implements the command-line tools as testable functions:
+// each takes an argument list and I/O streams and returns a process exit
+// code. The cmd/ main packages are thin wrappers.
+//
+// The five tools mirror the paper's tool chain:
+//
+//   - bmgen  — synthetic benchmark generator (section 2.2)
+//   - bmsched — compile and schedule one block (sections 4.1–4.4.3), or a
+//     batch of input files concurrently across -j workers
+//   - bmsim  — schedule then simulate under randomized timings (section 3.2)
+//   - bmrun  — compile, schedule, and execute a control-flow program
+//   - bmexp  — regenerate the paper's tables and figures (sections 5–6)
+//
+// bmsched and bmexp accept -j (worker count), -cpuprofile, and -memprofile;
+// reports and exported schedules are byte-identical for every -j value.
+package cli

@@ -18,6 +18,9 @@ func Exp(args []string, stdout, stderr io.Writer) int {
 	name := fs.String("experiment", "all", "experiment name, or all")
 	runs := fs.Int("runs", 100, "benchmarks per parameter point (paper: 100)")
 	seed := fs.Int64("seed", 1, "base seed for benchmark generation")
+	workers := fs.Int("j", 0, "max concurrent trials (0 = all cores); results are identical for any value")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file")
 	list := fs.Bool("list", false, "list available experiments")
 	csvDir := fs.String("csv", "", "also write <experiment>.csv series files into this directory")
 	if err := fs.Parse(args); err != nil {
@@ -30,12 +33,33 @@ func Exp(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
+	if *workers < 0 {
+		return fail(stderr, "bmexp", fmt.Errorf("-j = %d, need >= 0", *workers))
+	}
+
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		return fail(stderr, "bmexp", err)
+	}
+	profilesStopped := false
+	finishProfiles := func() int {
+		profilesStopped = true
+		if err := stopProfiles(); err != nil {
+			return fail(stderr, "bmexp", err)
+		}
+		return 0
+	}
+	defer func() {
+		if !profilesStopped {
+			stopProfiles()
+		}
+	}()
 
 	names := []string{*name}
 	if *name == "all" {
 		names = exp.Names()
 	}
-	cfg := exp.Config{Runs: *runs, Seed: *seed}
+	cfg := exp.Config{Runs: *runs, Seed: *seed, Workers: *workers}
 	for _, n := range names {
 		start := time.Now()
 		r, err := exp.Run(n, cfg)
@@ -55,5 +79,5 @@ func Exp(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "\n[%s completed in %v]\n\n", n, time.Since(start).Round(time.Millisecond))
 	}
-	return 0
+	return finishProfiles()
 }

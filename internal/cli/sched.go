@@ -11,7 +11,9 @@ import (
 )
 
 // Sched implements bmsched: compile a program (or the Figure 1 example)
-// and print its tuple listing, schedule, barrier dag, and metrics.
+// and print its tuple listing, schedule, barrier dag, and metrics. Given
+// several input files, it schedules them as a batch across -j workers
+// instead.
 func Sched(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("bmsched", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -19,6 +21,9 @@ func Sched(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	machineName := fs.String("machine", "sbm", "sbm (merging) or dbm")
 	insertion := fs.String("insertion", "conservative", "conservative or optimal barrier insertion")
 	seed := fs.Int64("seed", 0, "scheduler tie-break seed")
+	workers := fs.Int("j", 0, "max concurrent schedules with several input files (0 = all cores)")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file")
 	example := fs.Bool("example", false, "schedule the paper's Figure 1 example block")
 	listing := fs.Bool("listing", false, "treat input as a Figure 1 tuple listing instead of source text")
 	gantt := fs.Bool("gantt", false, "also print a simulated-execution Gantt chart")
@@ -30,6 +35,7 @@ func Sched(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 
 	opts := core.DefaultOptions(*procs)
 	opts.Seed = *seed
+	opts.Parallelism = *workers
 	var err error
 	if opts.Machine, err = parseMachine(*machineName); err != nil {
 		return fail(stderr, "bmsched", err)
@@ -38,11 +44,31 @@ func Sched(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return fail(stderr, "bmsched", err)
 	}
 
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		return fail(stderr, "bmsched", err)
+	}
+	code := schedMain(fs, opts, stdin, stdout, stderr, *example, *listing, *gantt, *asJSON, *asDot, *seed)
+	if perr := stopProfiles(); perr != nil && code == 0 {
+		return fail(stderr, "bmsched", perr)
+	}
+	return code
+}
+
+// schedMain runs bmsched after flag parsing and profile setup.
+func schedMain(fs *flag.FlagSet, opts core.Options, stdin io.Reader, stdout, stderr io.Writer,
+	example, listing, gantt, asJSON bool, asDot string, seed int64) int {
+
+	if fs.NArg() > 1 && !example && !listing {
+		return schedBatch(fs.Args(), opts, asJSON, stdout, stderr)
+	}
+
 	var block *ir.Block
+	var err error
 	switch {
-	case *example:
+	case example:
 		block = ir.Fig1Block()
-	case *listing:
+	case listing:
 		src, rerr := readSource(fs.Arg(0), stdin)
 		if rerr != nil {
 			return fail(stderr, "bmsched", rerr)
@@ -68,11 +94,11 @@ func Sched(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(stderr, "bmsched", err)
 	}
-	if *asDot == "dag" {
+	if asDot == "dag" {
 		fmt.Fprint(stdout, g.DOT())
 		return 0
 	}
-	if !*asJSON && *asDot == "" {
+	if !asJSON && asDot == "" {
 		fmt.Fprintln(stdout, "=== Tuples (Figure 1 format) ===")
 		fmt.Fprint(stdout, block.Listing(func(i int) (int, int) { return ft.Min[i], ft.Max[i] }))
 	}
@@ -81,7 +107,7 @@ func Sched(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(stderr, "bmsched", err)
 	}
-	if *asJSON {
+	if asJSON {
 		raw, jerr := s.ExportJSON()
 		if jerr != nil {
 			return fail(stderr, "bmsched", jerr)
@@ -90,7 +116,7 @@ func Sched(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout)
 		return 0
 	}
-	switch *asDot {
+	switch asDot {
 	case "":
 	case "barriers":
 		dot, derr := s.BarrierDOT()
@@ -100,7 +126,7 @@ func Sched(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprint(stdout, dot)
 		return 0
 	default:
-		return fail(stderr, "bmsched", fmt.Errorf("unknown -dot target %q (want dag or barriers)", *asDot))
+		return fail(stderr, "bmsched", fmt.Errorf("unknown -dot target %q (want dag or barriers)", asDot))
 	}
 	fmt.Fprintln(stdout, "\n=== Schedule ===")
 	fmt.Fprint(stdout, s.Render())
@@ -138,9 +164,13 @@ func Sched(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fmt.Fprintln(stdout, "\n=== Metrics ===")
 	fmt.Fprintln(stdout, s.Metrics.String())
 	fmt.Fprintf(stdout, "completion time: [%d,%d] (critical path lower bound: [%d,%d])\n", mn, mx, cmin, cmax)
+	fmt.Fprintf(stdout, "path-cache: %s\n", s.Metrics.PathCache.String())
+	if s.Metrics.Stages != nil {
+		fmt.Fprintf(stdout, "stages: %s\n", s.Metrics.Stages.String())
+	}
 
-	if *gantt {
-		if code := printGantt(s, *seed, stdout, stderr); code != 0 {
+	if gantt {
+		if code := printGantt(s, seed, stdout, stderr); code != 0 {
 			return code
 		}
 	}

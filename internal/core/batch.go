@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+
+	"barriermimd/internal/dag"
+	"barriermimd/internal/metrics"
+	"barriermimd/internal/pool"
+)
+
+// ScheduleBatch schedules every DAG in gs, fanning independent runs
+// across up to opts.Parallelism worker goroutines (0 = GOMAXPROCS).
+//
+// Each item i is scheduled with opts.Seed + i as its tie-break seed, so a
+// batch of identical DAGs still explores seed-diverse schedules and —
+// more importantly — the result for every index is a pure function of
+// (gs[i], opts, i): batches are byte-identical across Parallelism values
+// and across runs. Results are written index-addressed; out[i] is the
+// schedule of gs[i].
+func ScheduleBatch(gs []*dag.Graph, opts Options) ([]*Schedule, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]*Schedule, len(gs))
+	err := pool.ForEach(opts.Parallelism, len(gs), func(i int) error {
+		o := opts
+		o.Seed = opts.Seed + int64(i)
+		s, err := ScheduleDAG(gs[i], o)
+		if err != nil {
+			return fmt.Errorf("core: batch item %d: %w", i, err)
+		}
+		out[i] = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// BatchMetrics aggregates the per-run counters of a scheduled batch:
+// summed synchronization accounting and cache counters. Stage clocks are
+// merged across runs (wall times add even when runs overlapped on
+// different workers, so the merged clock measures total CPU-side work,
+// not elapsed time).
+func BatchMetrics(scheds []*Schedule) Metrics {
+	var total Metrics
+	for _, s := range scheds {
+		if s == nil {
+			continue
+		}
+		m := s.Metrics
+		total.TotalImpliedSyncs += m.TotalImpliedSyncs
+		total.Barriers += m.Barriers
+		total.SerializedSyncs += m.SerializedSyncs
+		total.StaticAfterBarrier += m.StaticAfterBarrier
+		total.PathResolved += m.PathResolved
+		total.TimingResolved += m.TimingResolved
+		total.OptimalRescues += m.OptimalRescues
+		total.MergedBarriers += m.MergedBarriers
+		total.RepairedPairs += m.RepairedPairs
+		total.PathCache.Add(m.PathCache)
+		if m.Stages != nil {
+			if total.Stages == nil {
+				total.Stages = new(metrics.StageClock)
+			}
+			total.Stages.Merge(m.Stages)
+		}
+	}
+	return total
+}

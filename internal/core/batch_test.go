@@ -1,0 +1,143 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"barriermimd/internal/dag"
+)
+
+// batchGraphs builds a mixed population of synthetic DAGs.
+func batchGraphs(t *testing.T, n int) []*dag.Graph {
+	t.Helper()
+	gs := make([]*dag.Graph, n)
+	for i := range gs {
+		gs[i] = synthGraph(t, 20+5*(i%5), 4+i%6, int64(100+i))
+	}
+	return gs
+}
+
+// TestScheduleBatchDeterministicAcrossParallelism is the regression test
+// for the batch engine's core guarantee: scheduling the same DAGs with
+// Parallelism=1 and Parallelism=N yields byte-identical exported
+// schedules.
+func TestScheduleBatchDeterministicAcrossParallelism(t *testing.T) {
+	gs := batchGraphs(t, 12)
+	opts := DefaultOptions(8)
+	opts.Seed = 7
+
+	export := func(parallelism int) [][]byte {
+		opts := opts
+		opts.Parallelism = parallelism
+		scheds, err := ScheduleBatch(gs, opts)
+		if err != nil {
+			t.Fatalf("Parallelism=%d: %v", parallelism, err)
+		}
+		out := make([][]byte, len(scheds))
+		for i, s := range scheds {
+			raw, err := s.ExportJSON()
+			if err != nil {
+				t.Fatalf("Parallelism=%d item %d: %v", parallelism, i, err)
+			}
+			out[i] = raw
+		}
+		return out
+	}
+
+	serial := export(1)
+	for _, par := range []int{2, 4, 8} {
+		parallel := export(par)
+		for i := range serial {
+			if !bytes.Equal(serial[i], parallel[i]) {
+				t.Fatalf("Parallelism=%d: exported schedule %d differs from serial run\nserial:\n%s\nparallel:\n%s",
+					par, i, serial[i], parallel[i])
+			}
+		}
+	}
+}
+
+func TestScheduleBatchSeedsDiffer(t *testing.T) {
+	// A batch of the *same* DAG must still explore seed-diverse
+	// schedules: item i runs with Seed+i.
+	g := synthGraph(t, 40, 8, 3)
+	scheds, err := ScheduleBatch([]*dag.Graph{g, g}, DefaultOptions(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := scheds[0].Opts.Seed, int64(0); got != want {
+		t.Errorf("item 0 seed = %d, want %d", got, want)
+	}
+	if got, want := scheds[1].Opts.Seed, int64(1); got != want {
+		t.Errorf("item 1 seed = %d, want %d", got, want)
+	}
+}
+
+func TestScheduleBatchPropagatesErrors(t *testing.T) {
+	if _, err := ScheduleBatch(nil, Options{Processors: 0}); err == nil {
+		t.Error("invalid options not rejected")
+	}
+	opts := DefaultOptions(8)
+	opts.Parallelism = -1
+	if _, err := ScheduleBatch(nil, opts); err == nil {
+		t.Error("negative Parallelism not rejected")
+	}
+}
+
+func TestBatchMetricsAggregates(t *testing.T) {
+	gs := batchGraphs(t, 4)
+	scheds, err := ScheduleBatch(gs, DefaultOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := BatchMetrics(scheds)
+	var wantSyncs, wantBarriers int
+	for _, s := range scheds {
+		wantSyncs += s.Metrics.TotalImpliedSyncs
+		wantBarriers += s.Metrics.Barriers
+	}
+	if total.TotalImpliedSyncs != wantSyncs {
+		t.Errorf("TotalImpliedSyncs = %d, want %d", total.TotalImpliedSyncs, wantSyncs)
+	}
+	if total.Barriers != wantBarriers {
+		t.Errorf("Barriers = %d, want %d", total.Barriers, wantBarriers)
+	}
+	if total.PathCache.Lookups() == 0 {
+		t.Error("PathCache counters did not accumulate")
+	}
+	if total.Stages == nil || total.Stages.Total("place") == 0 {
+		t.Error("stage clocks did not merge")
+	}
+}
+
+func TestScheduleMetricsIncludeCacheAndStages(t *testing.T) {
+	g := synthGraph(t, 40, 8, 1)
+	s, err := ScheduleDAG(g, DefaultOptions(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics
+	if m.PathCache.Lookups() == 0 {
+		t.Error("PathCache: no lookups recorded")
+	}
+	if m.PathCache.HitRate() <= 0 {
+		t.Errorf("PathCache hit rate = %v, want > 0 (stats: %v)", m.PathCache.HitRate(), m.PathCache)
+	}
+	if m.Stages == nil {
+		t.Fatal("Stages clock missing")
+	}
+	for _, stage := range []string{"order", "place", "finalize"} {
+		found := false
+		for _, name := range m.Stages.Names() {
+			if name == stage {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("stage %q not recorded (have %v)", stage, m.Stages.Names())
+		}
+	}
+	if testing.Verbose() {
+		fmt.Printf("cache: %v\nstages: %v\n", m.PathCache, m.Stages)
+	}
+}

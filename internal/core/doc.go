@@ -1,0 +1,22 @@
+// Package core implements the paper's primary contribution: list
+// scheduling of basic blocks onto a barrier MIMD (section 4), including
+// node labeling and ordering (4.1–4.2), node assignment (4.3), conservative
+// and "optimal" barrier insertion (4.4.1–4.4.2), and SBM barrier merging
+// (4.4.3). ScheduleDAG schedules one instruction dag; ScheduleBatch fans a
+// slice of independent dags across a bounded worker pool with
+// deterministic per-item seeds, so batch results are identical for every
+// Options.Parallelism value.
+//
+// # Soundness refinement
+//
+// The paper's insertion rules reason about producer/consumer timing through
+// the barrier dag. Inserting a barrier (or merging two) can retroactively
+// *delay* the worst-case finish time of instructions scheduled after it,
+// which may invalidate a producer/consumer pair that was previously proven
+// safe by the timing check. The paper does not discuss this interaction, so
+// this implementation re-verifies every timing-resolved pair after each
+// barrier insertion or merge and repairs any broken pair by inserting a
+// barrier for it (Metrics.RepairedPairs counts these). The discrete-event
+// simulator in internal/machine validates the resulting schedules end to
+// end under randomized instruction timings.
+package core

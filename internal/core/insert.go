@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"barriermimd/internal/bdag"
 )
@@ -435,6 +436,8 @@ func (s *scheduler) insertItemAt(p, pos int, it Item) {
 // interaction; an inverted pair could never be repaired). Rejected pairs
 // are skipped for the remainder of the pass.
 func (s *scheduler) mergePass() error {
+	start := time.Now()
+	defer func() { s.clock.Observe("merge", time.Since(start)) }()
 	rejected := make(map[[2]int]bool)
 	for {
 		if err := s.ensureGraph(); err != nil {
@@ -526,6 +529,8 @@ func (s *scheduler) merge(a, b int) {
 // pairs to barrier-ordered pairs, which stay satisfied forever, so the
 // loop terminates).
 func (s *scheduler) verifyRepair() error {
+	start := time.Now()
+	defer func() { s.clock.Observe("verify", time.Since(start)) }()
 	for {
 		repaired := false
 		// Iterate over a private copy: insertBarrier below may recursively

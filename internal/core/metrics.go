@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"barriermimd/internal/metrics"
+)
 
 // Metrics is the synchronization accounting of section 3.1, plus
 // implementation-level counters.
@@ -36,6 +40,16 @@ type Metrics struct {
 	// RepairedPairs counts timing-resolved pairs that were invalidated by
 	// a later insertion or merge and required a repair barrier.
 	RepairedPairs int
+	// PathCache accumulates the hit/miss counters of the barrier dag's
+	// memoized path queries (reachability, longest paths, dominators,
+	// k-longest enumerations) across every dag rebuild of the run.
+	PathCache metrics.CacheStats
+	// Stages records wall-clock time per scheduler stage ("order",
+	// "place", "merge", "verify", "finalize"). "merge" and "verify" run
+	// inside the placement loop, so their time is also included in
+	// "place". Wall times are nondeterministic and therefore excluded
+	// from schedule exports.
+	Stages *metrics.StageClock
 }
 
 // BarrierFraction is Barriers / TotalImpliedSyncs (section 3.1).

@@ -1,21 +1,3 @@
-// Package core implements the paper's primary contribution: list
-// scheduling of basic blocks onto a barrier MIMD (section 4), including
-// node labeling and ordering (4.1–4.2), node assignment (4.3), conservative
-// and "optimal" barrier insertion (4.4.1–4.4.2), and SBM barrier merging
-// (4.4.3).
-//
-// # Soundness refinement
-//
-// The paper's insertion rules reason about producer/consumer timing through
-// the barrier dag. Inserting a barrier (or merging two) can retroactively
-// *delay* the worst-case finish time of instructions scheduled after it,
-// which may invalidate a producer/consumer pair that was previously proven
-// safe by the timing check. The paper does not discuss this interaction, so
-// this implementation re-verifies every timing-resolved pair after each
-// barrier insertion or merge and repairs any broken pair by inserting a
-// barrier for it (Metrics.RepairedPairs counts these). The discrete-event
-// simulator in internal/machine validates the resulting schedules end to
-// end under randomized instruction timings.
 package core
 
 import (
@@ -148,6 +130,11 @@ type Options struct {
 	Seed int64
 	// PathLimit bounds path enumeration in optimal insertion (0 = 64).
 	PathLimit int
+	// Parallelism bounds the worker goroutines batch drivers
+	// (ScheduleBatch, cfg.Program.Compile) fan independent DAG schedules
+	// across; 0 selects GOMAXPROCS. Scheduling a single DAG is
+	// unaffected: results are byte-identical for every Parallelism value.
+	Parallelism int
 }
 
 // DefaultOptions returns the paper's default configuration on n processors.
@@ -168,6 +155,9 @@ func (o Options) Validate() error {
 	}
 	if o.Lookahead < 0 {
 		return fmt.Errorf("core: Lookahead = %d, need >= 0", o.Lookahead)
+	}
+	if o.Parallelism < 0 {
+		return fmt.Errorf("core: Parallelism = %d, need >= 0", o.Parallelism)
 	}
 	return nil
 }

@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"time"
 
 	"barriermimd/internal/bdag"
 	"barriermimd/internal/dag"
 	"barriermimd/internal/ir"
+	"barriermimd/internal/metrics"
 )
 
 // ScheduleDAG schedules the instruction DAG g onto a barrier MIMD
@@ -33,15 +35,19 @@ func ScheduleDAG(g *dag.Graph, opts Options) (*Schedule, error) {
 		s.nodeIdx[i] = -1
 	}
 
+	start := time.Now()
 	order, err := s.listOrder()
+	s.clock.Observe("order", time.Since(start))
 	if err != nil {
 		return nil, err
 	}
+	start = time.Now()
 	for k, n := range order {
 		if err := s.place(k, n, order); err != nil {
 			return nil, err
 		}
 	}
+	s.clock.Observe("place", time.Since(start))
 	return s.finish()
 }
 
@@ -77,6 +83,7 @@ type scheduler struct {
 
 	timingPairs []pairRec
 	mx          Metrics
+	clock       metrics.StageClock
 }
 
 // listOrder computes the scheduling list of section 4.2: real nodes sorted
@@ -285,12 +292,17 @@ func (s *scheduler) pickByEndTime(candidates []int, better func(a, b int) bool) 
 	return ties[s.rng.Intn(len(ties))], bestMax, nil
 }
 
-// appendNode places node n at the end of processor p's timeline.
+// appendNode places node n at the end of processor p's timeline. The
+// barrier dag is NOT marked dirty: buildBarrierGraph only materializes
+// regions that end at a barrier, so an instruction appended after the
+// last barrier of a timeline is invisible to the dag (timing of trailing
+// regions is always read from the timeline via deltaRange). Keeping the
+// dag clean here is what lets the memoized path queries survive across
+// node placements instead of going cold on every one.
 func (s *scheduler) appendNode(p, n int) {
 	s.procs[p] = append(s.procs[p], Item{Node: n})
 	s.assign[n] = p
 	s.nodeIdx[n] = len(s.procs[p]) - 1
-	s.dirty = true
 }
 
 // buildBarrierGraph derives the barrier dag from per-processor timelines
@@ -341,6 +353,10 @@ func buildBarrierGraph(procs [][]Item, parts map[int][]int, times []ir.Timing) (
 func (s *scheduler) ensureGraph() error {
 	if !s.dirty {
 		return nil
+	}
+	if s.bg != nil {
+		// The outgoing graph's cache counters would be lost with it.
+		s.mx.PathCache.Add(s.bg.CacheStats())
 	}
 	bg, bnode, err := buildBarrierGraph(s.procs, s.parts, s.g.Time)
 	if err != nil {
@@ -410,9 +426,17 @@ func (s *scheduler) reindex(p int) {
 
 // finish freezes the scheduler state into a Schedule and computes metrics.
 func (s *scheduler) finish() (*Schedule, error) {
+	start := time.Now()
+	defer func() { s.clock.Observe("finalize", time.Since(start)) }()
 	if err := s.ensureGraph(); err != nil {
 		return nil, err
 	}
+	// Final-generation cache counters plus everything accumulated across
+	// rebuilds. The graph outlives the run inside the Schedule, so its
+	// own counters keep advancing as the schedule is queried; the
+	// snapshot here covers scheduling only.
+	s.mx.PathCache.Add(s.bg.CacheStats())
+	s.mx.Stages = &s.clock
 	s.mx.TotalImpliedSyncs = s.g.TotalImpliedSynchronizations()
 	s.mx.Barriers = len(s.parts) - 1
 	s.mx.SerializedSyncs = 0

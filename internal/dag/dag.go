@@ -1,9 +1,3 @@
-// Package dag builds and analyzes the instruction DAG G(N, A) of section
-// 4.1 of the paper: nodes are tuples of a basic block, edges are
-// producer/consumer precedence constraints, and a dummy entry and exit node
-// give the graph a single source and sink. The package computes the
-// minimum/maximum node heights that drive list-scheduling order and the
-// minimum/maximum finish times shown in Figure 1.
 package dag
 
 import (

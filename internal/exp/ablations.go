@@ -49,7 +49,7 @@ func Merge(cfg Config) (*MergeResult, error) {
 		}
 		return float64(total) / float64(n)
 	}
-	err := forEach(cfg.Runs, func(r int) error {
+	err := cfg.forEach(cfg.Runs, func(r int) error {
 		seed := cfg.seedAt(0, r)
 		g, err := BuildDAG(80, 10, seed)
 		if err != nil {
@@ -152,7 +152,7 @@ func Heuristics(cfg Config) (*HeuristicsResult, error) {
 		sf := make([]float64, cfg.Runs)
 		mns := make([]float64, cfg.Runs)
 		mxs := make([]float64, cfg.Runs)
-		err := forEach(cfg.Runs, func(r int) error {
+		err := cfg.forEach(cfg.Runs, func(r int) error {
 			seed := cfg.seedAt(0, r)
 			g, err := BuildDAGTimed(60, 10, seed, v.tm)
 			if err != nil {
@@ -225,7 +225,7 @@ func Optimal(cfg Config) (*OptimalResult, error) {
 	cb := make([]float64, cfg.Runs)
 	ob := make([]float64, cfg.Runs)
 	rs := make([]float64, cfg.Runs)
-	err := forEach(cfg.Runs, func(r int) error {
+	err := cfg.forEach(cfg.Runs, func(r int) error {
 		seed := cfg.seedAt(0, r)
 		g, err := BuildDAG(60, 10, seed)
 		if err != nil {

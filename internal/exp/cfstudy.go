@@ -46,7 +46,7 @@ func CFStudy(cfgc Config) (*CFStudyResult, error) {
 	dyn := make([]float64, cfgc.Runs)
 	ctrl := make([]float64, cfgc.Runs)
 	times := make([]float64, cfgc.Runs)
-	err := forEach(cfgc.Runs, func(r int) error {
+	err := cfgc.forEach(cfgc.Runs, func(r int) error {
 		seed := cfgc.seedAt(0, r)
 		prog, err := synth.GenerateCF(synth.CFConfig{Statements: 30, Variables: 8}, seed)
 		if err != nil {

@@ -1,0 +1,14 @@
+// Package exp reproduces every table and figure of the paper's evaluation
+// (sections 2, 5 and 6): Table 1 (instruction mix), Figure 14 (scatter of
+// serialized vs statically scheduled fractions), Figures 15–17 (sync
+// fractions vs statements, variables, and processors), Figure 18 (VLIW vs
+// barrier MIMD completion time), the section 4.4.3 merging statistic, and
+// the section 5.4 heuristic ablations.
+//
+// One hundred synthetic benchmarks are generated per parameter point and
+// averaged, exactly as in the paper; Config.Runs scales this down for quick
+// runs. Trials run concurrently across Config.Workers workers (bmexp -j),
+// with each trial's seed derived only from the base seed and trial index,
+// so every report is bit-identical in Config.Seed regardless of worker
+// count.
+package exp

@@ -394,20 +394,42 @@ func TestParallelExperimentsDeterministic(t *testing.T) {
 }
 
 func TestForEachErrorPropagates(t *testing.T) {
-	err := forEach(100, func(i int) error {
-		if i == 37 {
-			return errTest
+	for _, workers := range []int{0, 1, 4} {
+		cfg := Config{Workers: workers}
+		err := cfg.forEach(100, func(i int) error {
+			if i == 37 {
+				return errTest
+			}
+			return nil
+		})
+		if err != errTest {
+			t.Errorf("workers=%d: err = %v, want errTest", workers, err)
 		}
-		return nil
-	})
-	if err != errTest {
-		t.Errorf("err = %v, want errTest", err)
+		if err := cfg.forEach(0, func(int) error { return nil }); err != nil {
+			t.Errorf("workers=%d: empty forEach: %v", workers, err)
+		}
+		if err := cfg.forEach(1, func(int) error { return nil }); err != nil {
+			t.Errorf("workers=%d: single forEach: %v", workers, err)
+		}
 	}
-	if err := forEach(0, func(int) error { return nil }); err != nil {
-		t.Errorf("empty forEach: %v", err)
-	}
-	if err := forEach(1, func(int) error { return nil }); err != nil {
-		t.Errorf("single forEach: %v", err)
+}
+
+// TestWorkersDoNotChangeReports asserts the batch engine's determinism
+// guarantee at the experiment level: every registered experiment renders
+// the identical report with 1 worker and with many.
+func TestWorkersDoNotChangeReports(t *testing.T) {
+	for _, name := range []string{"table1", "fig14", "fig17", "merge"} {
+		serial, err := Run(name, Config{Runs: 4, Seed: 11, Workers: 1})
+		if err != nil {
+			t.Fatalf("%s serial: %v", name, err)
+		}
+		parallel, err := Run(name, Config{Runs: 4, Seed: 11, Workers: 8})
+		if err != nil {
+			t.Fatalf("%s parallel: %v", name, err)
+		}
+		if serial.Render() != parallel.Render() {
+			t.Errorf("%s: report differs between Workers=1 and Workers=8", name)
+		}
 	}
 }
 

@@ -37,7 +37,7 @@ func MIMD(cfg Config) (*MIMDResult, error) {
 	nt := make([]float64, cfg.Runs)
 	rt := make([]float64, cfg.Runs)
 	bt := make([]float64, cfg.Runs)
-	err := forEach(cfg.Runs, func(r int) error {
+	err := cfg.forEach(cfg.Runs, func(r int) error {
 		seed := cfg.seedAt(0, r)
 		s, err := ScheduleOne(60, 10, seed, core.DefaultOptions(8))
 		if err != nil {
@@ -111,7 +111,7 @@ func BarrierCost(cfg Config) (*BarrierCostResult, error) {
 	res.Completion.Name = "completion"
 	bars := make([]float64, cfg.Runs)
 	scheds := make([]*core.Schedule, cfg.Runs)
-	err := forEach(cfg.Runs, func(r int) error {
+	err := cfg.forEach(cfg.Runs, func(r int) error {
 		s, err := ScheduleOne(60, 10, cfg.seedAt(0, r), core.DefaultOptions(8))
 		if err != nil {
 			return err

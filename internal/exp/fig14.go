@@ -47,7 +47,7 @@ func Fig14(cfg Config) (*Fig14Result, error) {
 			return nil, fmt.Errorf("exp: could not find %d in-band benchmarks", cfg.Runs)
 		}
 		batch := make([]cand, cfg.Runs)
-		err := forEach(len(batch), func(j int) error {
+		err := cfg.forEach(len(batch), func(j int) error {
 			seed := cfg.seedAt(0, start+j)
 			g, err := BuildDAG(60, 10, seed)
 			if err != nil {

@@ -36,7 +36,7 @@ func Fig18(cfg Config) (*Fig18Result, error) {
 		maxN := make([]float64, cfg.Runs)
 		minN := make([]float64, cfg.Runs)
 		vabs := make([]float64, cfg.Runs)
-		err := forEach(cfg.Runs, func(r int) error {
+		err := cfg.forEach(cfg.Runs, func(r int) error {
 			seed := cfg.seedAt(k, r)
 			g, err := BuildDAG(60, 10, seed)
 			if err != nil {

@@ -36,7 +36,7 @@ func Lookahead(cfg Config) (*LookaheadResult, error) {
 			w, procs := w, procs
 			ser := make([]float64, cfg.Runs)
 			span := make([]float64, cfg.Runs)
-			err := forEach(cfg.Runs, func(r int) error {
+			err := cfg.forEach(cfg.Runs, func(r int) error {
 				seed := cfg.seedAt(w*31+procs, r)
 				opts := core.DefaultOptions(procs)
 				opts.Lookahead = w

@@ -1,67 +1,16 @@
 package exp
 
 import (
-	"runtime"
-	"sync"
+	"barriermimd/internal/pool"
 )
 
-// forEach runs fn(0..n-1) across GOMAXPROCS workers and returns the first
-// error. Results must be written into caller-preallocated, index-addressed
-// storage so that aggregation stays deterministic regardless of execution
-// order; every experiment in this package follows that pattern, which is
-// why parallel runs produce bit-identical reports to serial ones.
-func forEach(n int, fn func(i int) error) error {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-		next     int
-	)
-	claim := func() (int, bool) {
-		mu.Lock()
-		defer mu.Unlock()
-		if firstErr != nil || next >= n {
-			return 0, false
-		}
-		i := next
-		next++
-		return i, true
-	}
-	fail := func(err error) {
-		mu.Lock()
-		defer mu.Unlock()
-		if firstErr == nil {
-			firstErr = err
-		}
-	}
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i, ok := claim()
-				if !ok {
-					return
-				}
-				if err := fn(i); err != nil {
-					fail(err)
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	return firstErr
+// forEach runs fn(0..n-1) across the experiment's worker pool
+// (Config.Workers goroutines; 0 = GOMAXPROCS) and returns the first
+// error. Results must be written into caller-preallocated,
+// index-addressed storage so that aggregation stays deterministic
+// regardless of execution order; every experiment in this package
+// follows that pattern, which is why runs at any worker count produce
+// bit-identical reports.
+func (c Config) forEach(n int, fn func(i int) error) error {
+	return pool.ForEach(c.Workers, n, fn)
 }

@@ -1,13 +1,3 @@
-// Package exp reproduces every table and figure of the paper's evaluation
-// (sections 2, 5 and 6): Table 1 (instruction mix), Figure 14 (scatter of
-// serialized vs statically scheduled fractions), Figures 15–17 (sync
-// fractions vs statements, variables, and processors), Figure 18 (VLIW vs
-// barrier MIMD completion time), the section 4.4.3 merging statistic, and
-// the section 5.4 heuristic ablations.
-//
-// One hundred synthetic benchmarks are generated per parameter point and
-// averaged, exactly as in the paper; Config.Runs scales this down for quick
-// runs. All results are deterministic in Config.Seed.
 package exp
 
 import (
@@ -26,6 +16,12 @@ type Config struct {
 	Runs int
 	// Seed is the base seed; benchmark seeds derive from it.
 	Seed int64
+	// Workers bounds the goroutines used to run trials concurrently
+	// (the bmexp -j flag); 0 selects GOMAXPROCS. Per-trial seeds derive
+	// from Seed and the trial index alone, and trial results are
+	// aggregated in index order, so reports are bit-identical for every
+	// worker count.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {

@@ -47,7 +47,7 @@ func Study(cfg Config) (*StudyResult, error) {
 				ss := make([]float64, cfg.Runs)
 				ts := make([]float64, cfg.Runs)
 				counted := make([]bool, cfg.Runs)
-				err := forEach(cfg.Runs, func(r int) error {
+				err := cfg.forEach(cfg.Runs, func(r int) error {
 					sched, err := ScheduleOne(stmts, vars, cfg.seedAt(gridID, r), core.DefaultOptions(procs))
 					if err != nil {
 						return err

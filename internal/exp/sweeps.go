@@ -40,7 +40,7 @@ func sweepFractions(cfg Config, title, xlabel string, points []point) (*Fraction
 		bs := make([]float64, cfg.Runs)
 		ss := make([]float64, cfg.Runs)
 		ts := make([]float64, cfg.Runs)
-		err := forEach(cfg.Runs, func(r int) error {
+		err := cfg.forEach(cfg.Runs, func(r int) error {
 			s, err := ScheduleOne(pt.stmts, pt.vars, cfg.seedAt(k, r), core.DefaultOptions(pt.procs))
 			if err != nil {
 				return err

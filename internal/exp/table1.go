@@ -34,15 +34,28 @@ func Table1(cfg Config) (*Table1Result, error) {
 		},
 		Timings: ir.DefaultTimings(),
 	}
+	// Generate the corpus concurrently; per-run counts land in
+	// index-addressed slots and are merged serially, so the measured mix
+	// is identical at any worker count.
+	perRun := make([]map[ir.Op]int, cfg.Runs)
+	perStmts := make([]int, cfg.Runs)
+	err := cfg.forEach(cfg.Runs, func(r int) error {
+		prog, err := synth.Generate(synth.Config{Statements: 100, Variables: 10}, cfg.seedAt(0, r))
+		if err != nil {
+			return err
+		}
+		perStmts[r] = len(prog.Stmts)
+		perRun[r] = prog.OperatorCounts()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	counts := make(map[ir.Op]int)
 	total := 0
 	for r := 0; r < cfg.Runs; r++ {
-		prog, err := synth.Generate(synth.Config{Statements: 100, Variables: 10}, cfg.seedAt(0, r))
-		if err != nil {
-			return nil, err
-		}
-		res.Statements += len(prog.Stmts)
-		for op, n := range prog.OperatorCounts() {
+		res.Statements += perStmts[r]
+		for op, n := range perRun[r] {
 			counts[op] += n
 			total += n
 		}

@@ -1,13 +1,3 @@
-// Package ir defines the tuple intermediate representation used throughout
-// the barrier-MIMD scheduling pipeline.
-//
-// The instruction set is the nine-operation set of the paper (Table 1):
-// Load, Store, Add, Sub, And, Or, Mul, Div and Mod. Four of the nine
-// operations (Load, Mul, Div, Mod) have variable execution time; the
-// remainder execute in exactly one time unit. A basic block is a flat
-// sequence of tuples; each tuple names its operand tuples by index, exactly
-// as in Figure 1 of the paper ("Add 0,1" adds the values produced by tuples
-// 0 and 1).
 package ir
 
 import "fmt"

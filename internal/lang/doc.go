@@ -1,0 +1,10 @@
+// Package lang implements the "simple language consisting of basic blocks
+// of code with no control flow constructs" of section 2 of the paper: a
+// straight-line sequence of assignment statements over integer variables
+// with the operators + - & | * / %.
+//
+// The pipeline is Parse → Compile (naive tuple generation: a Load per
+// variable reference, a Store per assignment) → opt.Optimize (CSE, constant
+// folding, value propagation, dead-code elimination), mirroring the paper's
+// benchmark tool chain.
+package lang

@@ -1,20 +1,3 @@
-// Package machine simulates barrier MIMD hardware executing a compiled
-// schedule (section 3.2 of the paper). Two machines are modeled:
-//
-//   - SBM: barriers are bit masks enqueued in a compile-time total order
-//     (Figure 11); the queue's top barrier fires when every participating
-//     processor has executed its wait instruction, and all participants
-//     resume simultaneously.
-//   - DBM: an associative matching memory fires any barrier whose
-//     participants are all waiting, in whatever run-time order occurs.
-//
-// Barriers execute with zero cost upon arrival of the last participant,
-// matching the assumption of the paper's experiments (section 5).
-//
-// The simulator is also the project's end-to-end correctness oracle: with
-// randomized instruction durations, Result.CheckDependences verifies that
-// every producer finished before its consumer started — i.e. that the
-// compiler's static synchronization decisions were sound.
 package machine
 
 import (

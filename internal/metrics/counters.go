@@ -1,0 +1,96 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// CacheStats counts hits and misses of a memoization cache, such as the
+// barrier-dag path-query caches in internal/bdag.
+type CacheStats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// Lookups is the total number of cache queries.
+func (c CacheStats) Lookups() uint64 { return c.Hits + c.Misses }
+
+// HitRate is Hits / (Hits + Misses), or 0 with no lookups.
+func (c CacheStats) HitRate() float64 {
+	if n := c.Lookups(); n > 0 {
+		return float64(c.Hits) / float64(n)
+	}
+	return 0
+}
+
+// Add accumulates another counter set into c (used when a cache is
+// discarded and rebuilt, as the scheduler does with its barrier dag).
+func (c *CacheStats) Add(o CacheStats) {
+	c.Hits += o.Hits
+	c.Misses += o.Misses
+}
+
+func (c CacheStats) String() string {
+	return fmt.Sprintf("hits=%d misses=%d rate=%.1f%%", c.Hits, c.Misses, 100*c.HitRate())
+}
+
+// StageClock accumulates wall-clock time per named pipeline stage
+// (ordering, placement, merging, verification, ...). The zero value is
+// ready to use. StageClock is not safe for concurrent use; give each
+// worker its own clock and Merge them.
+type StageClock struct {
+	names []string
+	total map[string]time.Duration
+}
+
+// Observe adds d to the named stage's total.
+func (s *StageClock) Observe(name string, d time.Duration) {
+	if s.total == nil {
+		s.total = make(map[string]time.Duration)
+	}
+	if _, ok := s.total[name]; !ok {
+		s.names = append(s.names, name)
+	}
+	s.total[name] += d
+}
+
+// Time runs fn and charges its wall time to the named stage.
+func (s *StageClock) Time(name string, fn func()) {
+	start := time.Now()
+	fn()
+	s.Observe(name, time.Since(start))
+}
+
+// Total returns the accumulated time of one stage.
+func (s *StageClock) Total(name string) time.Duration {
+	return s.total[name]
+}
+
+// Names returns the stage names in first-observation order.
+func (s *StageClock) Names() []string { return s.names }
+
+// Merge accumulates another clock's stages into s.
+func (s *StageClock) Merge(o *StageClock) {
+	for _, name := range o.names {
+		s.Observe(name, o.total[name])
+	}
+}
+
+// String renders "stage=dur stage=dur ..." with stages sorted by
+// descending time (ties by name) so the hottest stage leads.
+func (s *StageClock) String() string {
+	names := append([]string(nil), s.names...)
+	sort.SliceStable(names, func(a, b int) bool {
+		if s.total[names[a]] != s.total[names[b]] {
+			return s.total[names[a]] > s.total[names[b]]
+		}
+		return names[a] < names[b]
+	})
+	parts := make([]string, 0, len(names))
+	for _, name := range names {
+		parts = append(parts, fmt.Sprintf("%s=%s", name, s.total[name].Round(time.Microsecond)))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,14 @@
+// Package metrics provides the summary statistics and series types used by
+// the experiment harness to aggregate scheduling results across benchmark
+// populations, as the paper does in sections 5–6 ("one-hundred synthetic
+// benchmarks were generated for each set of parameters and the results
+// averaged").
+//
+// It also provides the engine-observability primitives threaded through
+// the scheduler: CacheStats counts hits and misses of the memoized
+// barrier-dag path queries (internal/bdag), and StageClock accumulates
+// wall time per scheduling stage (order, place, merge, verify, finalize).
+// Both are aggregates of nondeterministic measurements and are excluded
+// from exported schedules, which must stay byte-identical across worker
+// counts.
+package metrics

@@ -1,7 +1,3 @@
-// Package metrics provides the summary statistics and series types used by
-// the experiment harness to aggregate scheduling results across benchmark
-// populations, as the paper does ("one-hundred synthetic benchmarks were
-// generated for each set of parameters and the results averaged").
 package metrics
 
 import (

@@ -1,16 +1,3 @@
-// Package mimd models a conventional MIMD executing the same instruction
-// placement as a barrier MIMD schedule, but synchronizing with *directed*
-// producer/consumer operations (Figure 3 of the paper): the producer posts
-// a synchronization token after computing a value, and the consumer blocks
-// until the token arrives through the network. Token transmission takes a
-// variable, potentially long time, so — unlike barrier synchronization —
-// the compiler learns nothing about relative timing from it.
-//
-// The package quantifies the paper's motivating comparison (and its
-// conclusion's suggested application): how many runtime synchronization
-// operations a conventional MIMD needs for the same code, before and after
-// removing transitively redundant synchronizations in the style of Shaffer
-// [Shaf89], versus the handful of barriers the barrier MIMD uses.
 package mimd
 
 import (

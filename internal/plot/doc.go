@@ -1,0 +1,4 @@
+// Package plot renders minimal ASCII line and scatter charts for the
+// experiment harness, standing in for the paper's Figures 14–18 in
+// terminal output and in EXPERIMENTS.md.
+package plot

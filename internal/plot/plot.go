@@ -1,6 +1,3 @@
-// Package plot renders minimal ASCII line and scatter charts for the
-// experiment harness, standing in for the paper's figures in terminal
-// output and in EXPERIMENTS.md.
 package plot
 
 import (

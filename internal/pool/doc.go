@@ -1,0 +1,16 @@
+// Package pool provides the bounded worker pool that fans independent
+// units of work — DAG schedules, experiment trials, per-block compiles —
+// across processors.
+//
+// It generalizes the pattern originally sketched in internal/exp: workers
+// claim indices 0..n-1 in ascending order under a mutex and write results
+// into caller-preallocated, index-addressed storage, so aggregation stays
+// deterministic regardless of execution order. Every parallel consumer in
+// this repository (internal/core.ScheduleBatch, internal/cfg.Program.Compile,
+// the internal/exp experiment registry) follows that discipline, which is
+// why parallel runs produce bit-identical results to serial ones.
+//
+// The pool is not part of the paper's algorithmics; it is the batching
+// layer that amortizes the paper's expensive static analysis (sections
+// 4.1–4.4) across the thousands of synthetic benchmarks of section 5.
+package pool

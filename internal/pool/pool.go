@@ -1,0 +1,70 @@
+package pool
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn(0..n-1) across at most workers goroutines and returns
+// the first error encountered (after which no new indices are claimed).
+// workers <= 0 selects GOMAXPROCS. Indices are claimed in ascending order;
+// results must be written into caller-preallocated, index-addressed
+// storage so that aggregation stays deterministic regardless of execution
+// order.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		next     int
+	)
+	claim := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr != nil || next >= n {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	fail := func(err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := claim()
+				if !ok {
+					return
+				}
+				if err := fn(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,65 @@
+package pool
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		n := 100
+		hit := make([]int32, n)
+		err := ForEach(workers, n, func(i int) error {
+			atomic.AddInt32(&hit[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hit {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachEdgeCases(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { return fmt.Errorf("must not run") }); err != nil {
+		t.Errorf("empty: %v", err)
+	}
+	if err := ForEach(4, 1, func(int) error { return nil }); err != nil {
+		t.Errorf("single: %v", err)
+	}
+}
+
+func TestForEachStopsOnError(t *testing.T) {
+	errBoom := fmt.Errorf("boom")
+	var ran int32
+	err := ForEach(4, 1000, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 3 {
+			return errBoom
+		}
+		return nil
+	})
+	if err != errBoom {
+		t.Fatalf("err = %v, want %v", err, errBoom)
+	}
+	if n := atomic.LoadInt32(&ran); n == 1000 {
+		t.Errorf("pool did not stop early: all %d indices ran", n)
+	}
+}
+
+func TestForEachSerialErrorIsFirst(t *testing.T) {
+	err := ForEach(1, 10, func(i int) error {
+		if i >= 2 {
+			return fmt.Errorf("err at %d", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "err at 2" {
+		t.Fatalf("serial first error = %v, want err at 2", err)
+	}
+}

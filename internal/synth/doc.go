@@ -1,0 +1,10 @@
+// Package synth generates the synthetic benchmark programs of section 2.2
+// of the paper: random basic blocks of assignment statements whose binary
+// operators follow the [AlWo75] execution-frequency mix of Table 1
+// (Add 45.8%, Sub 33.9%, And 8.8%, Or 5.2%, Mul 2.9%, Div 2.2%, Mod 1.2%).
+// Loads and stores are not generated directly; they arise from variable
+// references and assignments during compilation, exactly as in the paper.
+//
+// Generation is deterministic for a given Config and seed, so every
+// experiment in the repository is reproducible.
+package synth

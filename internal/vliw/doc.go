@@ -1,0 +1,7 @@
+// Package vliw implements the VLIW execution model used as the comparison
+// baseline in section 6 of the paper: a lock-step machine with no
+// asynchrony, in which every instruction is assumed to require its maximum
+// execution time. Scheduling uses the same critical-path list ordering as
+// the barrier scheduler, so differences in completion time reflect the
+// machine models rather than the heuristics.
+package vliw
