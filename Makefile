@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench check
+# benchcmp knobs: baseline git ref, benchmark filter, iteration count.
+BASE ?= HEAD~1
+BENCH ?= BenchmarkSchedule
+COUNT ?= 10
+
+.PHONY: build test race vet fmt-check bench benchcmp check
 
 build:
 	$(GO) build ./...
@@ -22,6 +27,28 @@ fmt-check:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# Compare tier-1 benchmarks between a baseline ref (BASE, default HEAD~1)
+# and the working tree. The baseline is checked out into a throwaway git
+# worktree so the working tree is never disturbed. Results go through
+# benchstat when it is installed; otherwise the raw runs are printed side
+# by side for manual comparison (nothing is downloaded).
+benchcmp:
+	@set -e; \
+	tmp="$$(mktemp -d)"; \
+	trap 'git worktree remove --force "$$tmp/base" >/dev/null 2>&1 || true; rm -rf "$$tmp"' EXIT; \
+	git worktree add --detach "$$tmp/base" "$(BASE)" >/dev/null; \
+	echo "==> benchmarking baseline $(BASE)"; \
+	( cd "$$tmp/base" && $(GO) test -run '^$$' -bench '$(BENCH)' -count $(COUNT) . ) > "$$tmp/old.txt"; \
+	echo "==> benchmarking working tree"; \
+	$(GO) test -run '^$$' -bench '$(BENCH)' -count $(COUNT) . > "$$tmp/new.txt"; \
+	if command -v benchstat >/dev/null 2>&1; then \
+		benchstat "$$tmp/old.txt" "$$tmp/new.txt"; \
+	else \
+		echo "benchstat not installed; raw results:"; \
+		echo "--- baseline ($(BASE)) ---"; grep '^Benchmark' "$$tmp/old.txt" || true; \
+		echo "--- working tree ---"; grep '^Benchmark' "$$tmp/new.txt" || true; \
+	fi
 
 # Everything the CI gate runs.
 check: build vet fmt-check test race

@@ -8,6 +8,7 @@ package barriermimd
 import (
 	"testing"
 
+	"barriermimd/internal/bdag"
 	"barriermimd/internal/cfg"
 	"barriermimd/internal/core"
 	"barriermimd/internal/dag"
@@ -186,6 +187,75 @@ func BenchmarkHeights(b *testing.B) {
 		if _, err := g.Heights(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkInsertBarrier measures incremental barrier insertion into a
+// warm barrier dag (patch + selective memo invalidation), the scheduler's
+// hot mutation.
+func BenchmarkInsertBarrier(b *testing.B) {
+	build := func() (*bdag.Graph, []int) {
+		g := bdag.New([]int{0, 1, 2, 3})
+		tips := make([]int, 4)
+		for p := 0; p < 4; p++ {
+			tips[p] = g.AddBarrierAfter(bdag.Initial, []int{p}, ir.Timing{Min: 2 + p, Max: 5 + p})
+		}
+		return g, tips
+	}
+	g, tips := build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%64 == 0 {
+			b.StopTimer()
+			g, tips = build() // bound graph growth
+			b.StartTimer()
+		}
+		p, q := i%4, (i+1)%4
+		// Keep the memo warm so each insertion exercises selective
+		// invalidation, not cold recomputation.
+		g.HasPath(bdag.Initial, tips[p])
+		if _, err := g.Dominators(); err != nil {
+			b.Fatal(err)
+		}
+		w := g.InsertBarrier([]int{p, q}, []bdag.Split{
+			{Prev: tips[p], Next: bdag.NoBarrier, ToNew: ir.Timing{Min: 1, Max: 3}},
+			{Prev: tips[q], Next: bdag.NoBarrier, ToNew: ir.Timing{Min: 2, Max: 4}},
+		})
+		tips[p], tips[q] = w, w
+	}
+}
+
+// BenchmarkEdgeKindLookup measures dependence-edge kind queries, the inner
+// check of serialization and lookahead decisions (binary search over
+// sorted adjacency).
+func BenchmarkEdgeKindLookup(b *testing.B) {
+	g := benchGraph(b, 100, 10, 1)
+	edges := g.Edges()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := edges[i%len(edges)]
+		if _, ok := g.EdgeKind(e.From, e.To); !ok {
+			b.Fatal("edge vanished")
+		}
+		if _, ok := g.EdgeKind(e.To, e.From); ok && e.From != e.To {
+			b.Fatal("reverse edge present")
+		}
+	}
+}
+
+// BenchmarkDeltaRange measures region time sums over schedule timelines
+// (prefix-sum differences behind the scheduler's δ quantities).
+func BenchmarkDeltaRange(b *testing.B) {
+	g := benchGraph(b, 60, 10, 1)
+	s, err := core.ScheduleDAG(g, core.DefaultOptions(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := i % len(s.Procs)
+		idx := i % (len(s.Procs[p]) + 1)
+		s.RegionDelta(p, idx, i%2 == 0)
 	}
 }
 

@@ -44,9 +44,8 @@ func main() {
 		// The same schedule executed under dynamic barrier matching:
 		// re-run by scheduling for DBM is unnecessary — an SBM schedule
 		// is always a valid DBM schedule.
-		dbmSched := *sched
-		dbmSched.Opts.Machine = barriermimd.DBM
-		dbm, err := barriermimd.Simulate(&dbmSched, cfg)
+		dbmSched := sched.CloneForMachine(barriermimd.DBM)
+		dbm, err := barriermimd.Simulate(dbmSched, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

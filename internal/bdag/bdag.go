@@ -19,19 +19,39 @@ type Edge struct {
 	From, To int
 }
 
+// arcs is one node's successor adjacency, sorted by target. agg carries the
+// Figure 13 aggregate of the per-processor contributions in contrib, whose
+// multiset is retained so a contribution can be withdrawn again when an
+// incremental mutation reroutes a processor's region through a new barrier.
+type arcs struct {
+	to      []int
+	agg     []ir.Timing
+	contrib [][]ir.Timing
+}
+
+// find returns the position of target v in the sorted arc list and whether
+// it is present.
+func (a *arcs) find(v int) (int, bool) {
+	k := sort.SearchInts(a.to, v)
+	return k, k < len(a.to) && a.to[k] == v
+}
+
 // Graph is a barrier dag. Create with New, add barriers with AddBarrier,
-// and contribute per-processor code-region times with AddRegion.
+// and contribute per-processor code-region times with AddRegion; a built
+// graph can then be patched in place with the incremental mutations of
+// incremental.go (InsertBarrier, SplitRegion, AddBarrierAfter).
 //
 // Path queries (HasPath, Topo, LongestFrom, Dominators, PathsBetween) are
-// memoized per graph generation — see memo.go — and any mutation drops
-// the caches, so query results are always consistent with the current
-// structure. Cached slices are shared between callers: treat every slice
-// returned by a query as read-only.
+// memoized per graph generation — see memo.go. Construction-time mutations
+// (AddBarrier, AddRegion) drop the caches wholesale; the incremental
+// mutations invalidate selectively, keeping every memo row the mutation
+// provably cannot affect. Cached slices are shared between callers: treat
+// every slice returned by a query as read-only.
 type Graph struct {
-	parts [][]int             // participants per barrier, sorted
-	out   []map[int]ir.Timing // aggregated edge weights
-	in    []map[int]struct{}  // reverse adjacency
-	memo  memo                // query caches, dropped on mutation
+	parts [][]int // participants per barrier, sorted
+	out   []arcs  // successor arcs, sorted by target
+	in    [][]int // sorted predecessor lists
+	memo  memo    // query caches, invalidated on mutation
 }
 
 // New returns a graph containing only the initial barrier across the given
@@ -46,14 +66,21 @@ func New(initialParticipants []int) *Graph {
 func (g *Graph) Len() int { return len(g.parts) }
 
 // AddBarrier appends a barrier with the given participating processors and
-// returns its index.
+// returns its index. This is the construction-time mutation: it drops the
+// memo wholesale. Use InsertBarrier to patch a built graph instead.
 func (g *Graph) AddBarrier(participants []int) int {
 	g.invalidate()
+	return g.addNode(participants)
+}
+
+// addNode appends the node arrays for a new barrier without touching the
+// memo.
+func (g *Graph) addNode(participants []int) int {
 	p := append([]int(nil), participants...)
 	sort.Ints(p)
 	g.parts = append(g.parts, p)
-	g.out = append(g.out, make(map[int]ir.Timing))
-	g.in = append(g.in, make(map[int]struct{}))
+	g.out = append(g.out, arcs{})
+	g.in = append(g.in, nil)
 	return len(g.parts) - 1
 }
 
@@ -70,76 +97,149 @@ func (g *Graph) Participants(b int) []int { return g.parts[b] }
 
 // AddRegion records that some processor executes a code region taking t
 // between barriers u and v. Contributions aggregate per the Figure 13
-// rule: edge min/max are the maxima of the contributed mins/maxes.
+// rule: edge min/max are the maxima of the contributed mins/maxes. This is
+// the construction-time mutation: it drops the memo wholesale.
 func (g *Graph) AddRegion(u, v int, t ir.Timing) {
+	g.invalidate()
+	g.addContrib(u, v, t)
+}
+
+// addContrib inserts one processor's contribution to edge (u,v), creating
+// the edge if needed, without touching the memo. The exposed adjacency
+// slices are copied on length change so cached views stay intact.
+func (g *Graph) addContrib(u, v int, t ir.Timing) {
 	if u == v {
 		panic(fmt.Sprintf("bdag: self edge on barrier %d", u))
 	}
-	g.invalidate()
-	cur, ok := g.out[u][v]
+	a := &g.out[u]
+	k, ok := a.find(v)
 	if !ok {
-		g.out[u][v] = t
-		g.in[v][u] = struct{}{}
+		a.to = insertInt(a.to, k, v)
+		a.agg = insertTiming(a.agg, k, t)
+		a.contrib = insertContrib(a.contrib, k, []ir.Timing{t})
+		ki := sort.SearchInts(g.in[v], u)
+		g.in[v] = insertInt(g.in[v], ki, u)
 		return
 	}
+	a.contrib[k] = append(a.contrib[k], t)
+	cur := a.agg[k]
 	if t.Min > cur.Min {
 		cur.Min = t.Min
 	}
 	if t.Max > cur.Max {
 		cur.Max = t.Max
 	}
-	g.out[u][v] = cur
+	a.agg[k] = cur
+}
+
+// removeContrib withdraws one contribution exactly equal to t from edge
+// (u,v), deleting the edge when no contributions remain, and re-aggregating
+// otherwise. It panics when the contribution is absent: callers assert they
+// contributed t earlier, so absence is a maintenance bug.
+func (g *Graph) removeContrib(u, v int, t ir.Timing) {
+	a := &g.out[u]
+	k, ok := a.find(v)
+	if !ok {
+		panic(fmt.Sprintf("bdag: removeContrib on missing edge (%d,%d)", u, v))
+	}
+	c := a.contrib[k]
+	at := -1
+	for i, x := range c {
+		if x == t {
+			at = i
+			break
+		}
+	}
+	if at < 0 {
+		panic(fmt.Sprintf("bdag: contribution %v absent from edge (%d,%d)", t, u, v))
+	}
+	if len(c) == 1 {
+		a.to = deleteAt(a.to, k)
+		a.agg = deleteAt(a.agg, k)
+		a.contrib = deleteAt(a.contrib, k)
+		ki := sort.SearchInts(g.in[v], u)
+		g.in[v] = deleteAt(g.in[v], ki)
+		return
+	}
+	// Keep the multiset copy-on-write too: the slice is not exposed, but
+	// a rolled-back clone must not see the mutation.
+	nc := make([]ir.Timing, 0, len(c)-1)
+	nc = append(nc, c[:at]...)
+	nc = append(nc, c[at+1:]...)
+	a.contrib[k] = nc
+	agg := ir.Timing{}
+	for _, x := range nc {
+		if x.Min > agg.Min {
+			agg.Min = x.Min
+		}
+		if x.Max > agg.Max {
+			agg.Max = x.Max
+		}
+	}
+	a.agg[k] = agg
+}
+
+// insertInt returns a copy of s with v inserted at position k. A fresh
+// slice is always allocated so previously returned views keep their
+// contents.
+func insertInt(s []int, k, v int) []int {
+	out := make([]int, len(s)+1)
+	copy(out, s[:k])
+	out[k] = v
+	copy(out[k+1:], s[k:])
+	return out
+}
+
+func insertTiming(s []ir.Timing, k int, t ir.Timing) []ir.Timing {
+	out := make([]ir.Timing, len(s)+1)
+	copy(out, s[:k])
+	out[k] = t
+	copy(out[k+1:], s[k:])
+	return out
+}
+
+func insertContrib(s [][]ir.Timing, k int, c []ir.Timing) [][]ir.Timing {
+	out := make([][]ir.Timing, len(s)+1)
+	copy(out, s[:k])
+	out[k] = c
+	copy(out[k+1:], s[k:])
+	return out
+}
+
+// deleteAt returns a copy of s without the element at position k.
+func deleteAt[T any](s []T, k int) []T {
+	out := make([]T, 0, len(s)-1)
+	out = append(out, s[:k]...)
+	return append(out, s[k+1:]...)
 }
 
 // EdgeTiming returns the aggregated timing of edge (u,v) and whether the
 // edge exists.
 func (g *Graph) EdgeTiming(u, v int) (ir.Timing, bool) {
-	t, ok := g.out[u][v]
-	return t, ok
+	a := &g.out[u]
+	if k, ok := a.find(v); ok {
+		return a.agg[k], true
+	}
+	return ir.Timing{}, false
 }
 
 // Succs returns the successors of u in ascending order. The slice is
-// memoized and shared; do not modify.
-func (g *Graph) Succs(u int) []int {
-	g.memo.mu.Lock()
-	defer g.memo.mu.Unlock()
-	return g.succsLocked(u)
-}
+// shared and stays valid across mutations (mutations allocate fresh
+// adjacency); do not modify.
+func (g *Graph) Succs(u int) []int { return g.out[u].to }
 
-// computeSuccs builds the ascending successor list of u.
-func (g *Graph) computeSuccs(u int) []int {
-	out := make([]int, 0, len(g.out[u]))
-	for v := range g.out[u] {
-		out = append(out, v)
-	}
-	sort.Ints(out)
-	return out
-}
-
-// Preds returns the predecessors of v in ascending order.
-func (g *Graph) Preds(v int) []int {
-	out := make([]int, 0, len(g.in[v]))
-	for u := range g.in[v] {
-		out = append(out, u)
-	}
-	sort.Ints(out)
-	return out
-}
+// Preds returns the predecessors of v in ascending order. Shared; do not
+// modify.
+func (g *Graph) Preds(v int) []int { return g.in[v] }
 
 // Edges returns all edges sorted by (From, To).
 func (g *Graph) Edges() []Edge {
 	var out []Edge
 	for u := range g.out {
-		for v := range g.out[u] {
+		for _, v := range g.out[u].to {
 			out = append(out, Edge{u, v})
 		}
 	}
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].From != out[b].From {
-			return out[a].From < out[b].From
-		}
-		return out[a].To < out[b].To
-	})
 	return out
 }
 
@@ -156,8 +256,6 @@ func (g *Graph) HasPath(u, v int) bool {
 }
 
 // computeReach returns the reachability set of u (including u itself).
-// Called with memo.mu held; walks the cached adjacency slices rather than
-// the edge maps, which is markedly faster than map iteration.
 func (g *Graph) computeReach(u int) []bool {
 	seen := make([]bool, g.Len())
 	stack := []int{u}
@@ -165,7 +263,7 @@ func (g *Graph) computeReach(u int) []bool {
 	for len(stack) > 0 {
 		x := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, s := range g.succsLocked(x) {
+		for _, s := range g.out[x].to {
 			if !seen[s] {
 				seen[s] = true
 				stack = append(stack, s)
@@ -184,14 +282,17 @@ func (g *Graph) Ordered(a, b int) bool {
 
 // Topo returns a topological order (initial barrier first), or an error if
 // the graph is cyclic (which indicates a scheduler bug). The order is
-// memoized and shared; do not modify.
+// memoized and shared; do not modify. After an incremental mutation the
+// cached order is patched by insertion when the new constraints allow it,
+// so the order is always valid but not necessarily the one a fresh
+// computation would produce.
 func (g *Graph) Topo() ([]int, error) {
 	g.memo.mu.Lock()
 	defer g.memo.mu.Unlock()
 	return g.topoLocked()
 }
 
-// computeTopo builds the topological order. Called with memo.mu held.
+// computeTopo builds the topological order.
 func (g *Graph) computeTopo() ([]int, error) {
 	n := g.Len()
 	indeg := make([]int, n)
@@ -210,7 +311,7 @@ func (g *Graph) computeTopo() ([]int, error) {
 		v := ready[0]
 		ready = ready[1:]
 		order = append(order, v)
-		for _, s := range g.succsLocked(v) {
+		for _, s := range g.out[v].to {
 			indeg[s]--
 			if indeg[s] == 0 {
 				ready = append(ready, s)
@@ -253,8 +354,9 @@ func (g *Graph) computeLongestFrom(order []int, u int, useMax bool) []int {
 		if dist[x] == Unreachable {
 			continue
 		}
-		for v, t := range g.out[x] {
-			if d := dist[x] + weight(t, useMax); d > dist[v] {
+		a := &g.out[x]
+		for k, v := range a.to {
+			if d := dist[x] + weight(a.agg[k], useMax); d > dist[v] {
 				dist[v] = d
 			}
 		}
@@ -292,16 +394,24 @@ func (g *Graph) Dominators() ([]int, error) {
 // computeDominators runs the iterative dataflow algorithm given a
 // precomputed topological order.
 func (g *Graph) computeDominators(order []int) []int {
-	pos := make([]int, g.Len())
-	for k, v := range order {
-		pos[v] = k
-	}
 	idom := make([]int, g.Len())
 	for i := range idom {
 		idom[i] = -1
 	}
 	idom[Initial] = Initial
+	g.refineDominators(order, idom, nil)
+	return idom
+}
 
+// refineDominators iterates the dataflow equations over the given
+// topological order until fixpoint, updating idom in place. When affected
+// is non-nil only nodes marked in it are recomputed; the others are taken
+// as final inputs (the incremental-dominator patch of incremental.go).
+func (g *Graph) refineDominators(order, idom []int, affected []bool) {
+	pos := make([]int, g.Len())
+	for k, v := range order {
+		pos[v] = k
+	}
 	intersect := func(a, b int) int {
 		for a != b {
 			for pos[a] > pos[b] {
@@ -313,16 +423,15 @@ func (g *Graph) computeDominators(order []int) []int {
 		}
 		return a
 	}
-
 	changed := true
 	for changed {
 		changed = false
 		for _, v := range order {
-			if v == Initial {
+			if v == Initial || (affected != nil && !affected[v]) {
 				continue
 			}
 			newIdom := -1
-			for u := range g.in[v] {
+			for _, u := range g.in[v] {
 				if idom[u] == -1 {
 					continue
 				}
@@ -338,7 +447,6 @@ func (g *Graph) computeDominators(order []int) []int {
 			}
 		}
 	}
-	return idom
 }
 
 // CommonDominator returns the nearest common dominator of barriers a and b:

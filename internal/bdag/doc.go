@@ -11,12 +11,19 @@
 // (u,v) is the maximum over participating processors of each processor's
 // minimum region time, and likewise for the maximum.
 //
-// The graph is cheap to construct, so the scheduler rebuilds it from the
-// schedule's per-processor timelines after every barrier insertion or merge
-// rather than mutating it incrementally. Between mutations the expensive
-// queries — topological order, reachability (HasPath), longest min/max
-// paths (LongestFrom), dominators, and the k-path enumeration behind the
-// optimal inserter (PathsBetween) — are memoized on the Graph and
-// invalidated wholesale by AddBarrier/AddRegion; CacheStats reports the
-// hit rate.
+// The graph supports two kinds of mutation. Construction-time mutations
+// (AddBarrier, AddRegion) build it up region by region and invalidate the
+// memoized queries wholesale — they are only used when deriving a dag from
+// scratch. Maintenance mutations (InsertBarrier, SplitRegion,
+// AddBarrierAfter in incremental.go) patch the node/edge arrays in place
+// for the one structural change a scheduler barrier insertion can make —
+// splitting region edges through one new node — and invalidate
+// selectively: only the memoized reachability/longest-path rows whose
+// source reaches the mutated edges are dropped, the topological order is
+// patched by insertion when possible, and dominators are recomputed only
+// on the subtree reachable from the new node. The expensive queries —
+// topological order, reachability (HasPath), longest min/max paths
+// (LongestFrom), dominators, and the k-path enumeration behind the
+// optimal inserter (PathsBetween) — are memoized on the Graph; CacheStats
+// reports the hit rate and MaintStats the patch/invalidation balance.
 package bdag

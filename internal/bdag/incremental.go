@@ -1,0 +1,318 @@
+package bdag
+
+import (
+	"fmt"
+
+	"barriermimd/internal/ir"
+)
+
+// Incremental maintenance (the §4.4.1 observation that inserting a barrier
+// only splits region edges and adds one node). A barrier inserted into a
+// schedule appears in the dag as a single new node w; on each processor
+// whose timeline it lands on, the code region that previously ran between
+// barriers Prev and Next is split in two, so that processor's contribution
+// to edge (Prev, Next) is withdrawn and re-contributed as (Prev, w) and
+// (w, Next). Everything else in the graph is untouched, so instead of
+// rebuilding — and losing every memoized path query — the node/edge arrays
+// are patched in place and only the memo rows the mutation can actually
+// affect are dropped:
+//
+//   - reachability and longest-path rows survive unless their source
+//     reaches one of the split openings (all new and changed edges leave a
+//     Prev or w, so a source that cannot reach them sees an identical
+//     graph);
+//   - the topological order is patched by inserting w right after its last
+//     predecessor when the cached order already separates w's predecessors
+//     from its successors, and recomputed otherwise;
+//   - dominators are recomputed only on the subtree reachable from w (all
+//     new paths pass through w, and the only possible edge deletions —
+//     a (Prev, Next) whose last contribution was withdrawn — point at a
+//     Next that w now precedes), seeding the dataflow iteration with the
+//     untouched nodes' final values.
+
+// NoBarrier marks the absent Next of a trailing region in a Split.
+const NoBarrier = -1
+
+// Split describes one processor's timeline around a newly inserted
+// barrier: the region that ran from barrier node Prev to barrier node Next
+// now passes through the new barrier, taking ToNew from Prev to it and
+// FromNew from it to Next. Next is NoBarrier when the region was trailing
+// (no later barrier on that processor), in which case FromNew is ignored
+// and no contribution is withdrawn. The processor's previous contribution
+// to (Prev, Next) is ToNew + FromNew componentwise, by construction of
+// region sums.
+type Split struct {
+	Prev, Next     int
+	ToNew, FromNew ir.Timing
+}
+
+// InsertBarrier patches a new barrier with the given participants into the
+// graph, splitting one region per entry of splits, and returns the new
+// node's index. The caller must ensure the mutation keeps the graph
+// acyclic (WouldCycle performs exactly that check). Memo entries are
+// invalidated selectively; see the package comment above.
+func (g *Graph) InsertBarrier(participants []int, splits []Split) int {
+	g.memo.mu.Lock()
+	defer g.memo.mu.Unlock()
+	w := g.addNode(participants)
+	for _, sp := range splits {
+		g.applySplit(w, sp)
+	}
+	g.patchLocked(w, true, splits)
+	return w
+}
+
+// SplitRegion reroutes one additional processor's region between barrier
+// nodes sp.Prev and sp.Next through the existing barrier w, withdrawing
+// the processor's old contribution to (sp.Prev, sp.Next) and contributing
+// sp.ToNew and sp.FromNew to the edges around w. Memo entries are
+// invalidated selectively.
+func (g *Graph) SplitRegion(w int, sp Split) {
+	g.memo.mu.Lock()
+	defer g.memo.mu.Unlock()
+	g.applySplit(w, sp)
+	g.patchLocked(w, false, []Split{sp})
+}
+
+// AddBarrierAfter patches a new barrier into the graph whose only incoming
+// region runs from barrier node u with time t (a trailing region: nothing
+// is withdrawn), returning the new node's index. It is InsertBarrier with
+// a single trailing split.
+func (g *Graph) AddBarrierAfter(u int, participants []int, t ir.Timing) int {
+	return g.InsertBarrier(participants, []Split{{Prev: u, Next: NoBarrier, ToNew: t}})
+}
+
+// WouldCycle reports whether inserting a barrier with the given splits
+// would create a cycle. All cycles through the new node w must leave along
+// some (w, Next) edge and return along some (Prev, w) edge, so the graph
+// stays acyclic exactly when no Next reaches a Prev today. Queries go
+// through the memoized reachability rows, so the check is O(1) when warm.
+func (g *Graph) WouldCycle(splits []Split) bool {
+	for _, a := range splits {
+		if a.Next == NoBarrier {
+			continue
+		}
+		for _, b := range splits {
+			if g.HasPath(a.Next, b.Prev) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// applySplit patches the node/edge arrays for one split around barrier w;
+// memo.mu must be held. Memo maintenance happens separately in
+// patchLocked.
+func (g *Graph) applySplit(w int, sp Split) {
+	if sp.Next != NoBarrier {
+		old := ir.Timing{Min: sp.ToNew.Min + sp.FromNew.Min, Max: sp.ToNew.Max + sp.FromNew.Max}
+		g.removeContrib(sp.Prev, sp.Next, old)
+		g.addContrib(w, sp.Next, sp.FromNew)
+	}
+	g.addContrib(sp.Prev, w, sp.ToNew)
+}
+
+// patchLocked selectively invalidates the memo after barrier w gained the
+// given splits; memo.mu must be held. isNew reports that w was created by
+// this mutation (so cached vectors are one entry short and must be
+// extended).
+func (g *Graph) patchLocked(w int, isNew bool, splits []Split) {
+	m := &g.memo
+	m.maint.Patches++
+	n := g.Len()
+
+	// dirty holds the sources of every new or changed edge: each split's
+	// Prev (edges (Prev,w) added, (Prev,Next) changed or removed) and, for
+	// a pre-existing w, w itself (edges (w,Next) added). A memoized row
+	// whose source reaches none of them cannot see the mutation. For a
+	// brand-new w no old row can reach it, so the Prevs alone decide.
+	var dirty []int
+	for _, sp := range splits {
+		dirty = append(dirty, sp.Prev)
+	}
+	if !isNew {
+		dirty = append(dirty, w)
+	}
+
+	// Reachability rows: the cached row itself tells whether its source
+	// reaches a dirty node (reachability *to* the dirty nodes is untouched
+	// by the mutation, which only adds edges out of them). Surviving rows
+	// are extended for the new node, which they provably cannot reach.
+	oldReach := m.reach
+	if m.reach != nil {
+		kept := make(map[int][]bool, len(m.reach))
+		for src, r := range m.reach {
+			if reachesAny(r, dirty) {
+				m.maint.DroppedRows++
+				continue
+			}
+			m.maint.KeptRows++
+			kept[src] = extendBools(r, n, isNew)
+		}
+		m.reach = kept
+	}
+
+	// Longest-path rows: a source reaches a node exactly when its distance
+	// is not Unreachable.
+	if m.dist != nil {
+		kept := make(map[distKey][]int, len(m.dist))
+		for key, d := range m.dist {
+			drop := false
+			for _, x := range dirty {
+				if d[x] != Unreachable {
+					drop = true
+					break
+				}
+			}
+			if drop {
+				m.maint.DroppedRows++
+				continue
+			}
+			m.maint.KeptRows++
+			kept[key] = extendInts(d, n, isNew)
+		}
+		m.dist = kept
+	}
+
+	// Path enumerations: drop entries whose source may reach a dirty node,
+	// judged by the pre-patch reachability rows; with no cached row the
+	// entry is dropped conservatively.
+	if m.paths != nil {
+		kept := make(map[pathKey][]Path, len(m.paths))
+		for key, p := range m.paths {
+			r, ok := oldReach[key.u]
+			if !ok || reachesAny(r, dirty) {
+				m.maint.DroppedRows++
+				continue
+			}
+			m.maint.KeptRows++
+			kept[key] = p
+		}
+		m.paths = kept
+	}
+
+	g.patchTopoLocked(w, isNew)
+	g.patchDomLocked(w)
+}
+
+// reachesAny reports whether the reachability row r covers any of nodes.
+func reachesAny(r []bool, nodes []int) bool {
+	for _, x := range nodes {
+		if r[x] {
+			return true
+		}
+	}
+	return false
+}
+
+// extendBools returns r, extended by one false entry (a fresh copy) when
+// grow is set.
+func extendBools(r []bool, n int, grow bool) []bool {
+	if !grow {
+		return r
+	}
+	out := make([]bool, n)
+	copy(out, r)
+	return out
+}
+
+// extendInts returns d, extended by one Unreachable entry (a fresh copy)
+// when grow is set.
+func extendInts(d []int, n int, grow bool) []int {
+	if !grow {
+		return d
+	}
+	out := make([]int, n)
+	copy(out, d)
+	out[n-1] = Unreachable
+	return out
+}
+
+// patchTopoLocked keeps the cached topological order valid after barrier w
+// gained edges. When every cached predecessor position precedes every
+// cached successor position, w slots in right after its last predecessor;
+// otherwise the order is recomputed. memo.mu must be held.
+func (g *Graph) patchTopoLocked(w int, isNew bool) {
+	m := &g.memo
+	if !m.topoSet {
+		return
+	}
+	if m.topoErr != nil {
+		// A cached cycle error cannot be patched; recompute lazily.
+		m.topoSet, m.topo, m.topoErr = false, nil, nil
+		return
+	}
+	pos := make([]int, g.Len())
+	for i := range pos {
+		pos[i] = -1
+	}
+	for k, v := range m.topo {
+		pos[v] = k
+	}
+	maxPred, minSucc := -1, len(m.topo)
+	for _, u := range g.in[w] {
+		if pos[u] > maxPred {
+			maxPred = pos[u]
+		}
+	}
+	for _, v := range g.out[w].to {
+		if pos[v] < minSucc {
+			minSucc = pos[v]
+		}
+	}
+	if !isNew {
+		// w already sits in the order; valid iff it separates its
+		// predecessors from its successors.
+		if maxPred < pos[w] && pos[w] < minSucc {
+			return
+		}
+		m.topo, m.topoErr = g.computeTopo()
+		return
+	}
+	if maxPred < minSucc {
+		order := make([]int, 0, len(m.topo)+1)
+		order = append(order, m.topo[:maxPred+1]...)
+		order = append(order, w)
+		order = append(order, m.topo[maxPred+1:]...)
+		m.topo = order
+		return
+	}
+	m.topo, m.topoErr = g.computeTopo()
+}
+
+// patchDomLocked recomputes immediate dominators on the subtree reachable
+// from w, keeping every other node's value. All new paths created by the
+// mutation pass through w, and the only edges the mutation can delete
+// point at barriers w now reaches, so dominators outside w's reach cone
+// are unchanged. memo.mu must be held.
+func (g *Graph) patchDomLocked(w int) {
+	m := &g.memo
+	if !m.idomSet {
+		return
+	}
+	if m.idomErr != nil {
+		m.idomSet, m.idom, m.idomErr = false, nil, nil
+		return
+	}
+	order, err := g.topoLocked()
+	if err != nil {
+		// The caller created a cycle; surface it on the next query.
+		m.idomSet, m.idom, m.idomErr = false, nil, nil
+		return
+	}
+	affected := g.computeReach(w)
+	idom := make([]int, g.Len())
+	copy(idom, m.idom)
+	for v, hit := range affected {
+		if hit {
+			idom[v] = -1
+		}
+	}
+	if w == Initial {
+		panic(fmt.Sprintf("bdag: barrier %d cannot be the initial barrier", w))
+	}
+	idom[Initial] = Initial
+	g.refineDominators(order, idom, affected)
+	m.idom = idom
+}

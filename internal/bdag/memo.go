@@ -9,15 +9,19 @@ import (
 // The scheduler issues the same path queries many times between barrier
 // mutations: every producer/consumer check walks longest paths from its
 // common dominator, every insertion re-verifies all pending pairs through
-// HasPath, and the optimal inserter re-enumerates k-longest paths. The
-// graph is immutable between mutations (the scheduler rebuilds it rather
-// than patching it), so all of these are memoized here and invalidated
-// wholesale by AddBarrier/AddRegion. Repeated queries then cost O(1)
-// instead of a fresh traversal.
+// HasPath, and the optimal inserter re-enumerates k-longest paths. All of
+// these are memoized here. Construction-time mutations (AddBarrier,
+// AddRegion) invalidate wholesale; the incremental mutations of
+// incremental.go invalidate selectively, dropping only the rows whose
+// source can reach the mutated edges and keeping everything else. Repeated
+// queries then cost O(1) instead of a fresh traversal — across mutations,
+// not just between them.
 //
 // Cached results (topological orders, distance vectors, reachability
-// sets, path lists, adjacency lists) are returned as shared slices;
-// callers must treat them as read-only.
+// sets, path lists) are returned as shared slices; callers must treat
+// them as read-only. Patch operations never mutate a cached slice in
+// place: they replace entries with freshly allocated copies, so a caller
+// holding a slice across a mutation still sees the pre-mutation view.
 
 // distKey identifies one LongestFrom result.
 type distKey struct {
@@ -44,12 +48,12 @@ type memo struct {
 	idom    []int
 	idomErr error
 
-	succs [][]int
 	reach map[int][]bool
 	dist  map[distKey][]int
 	paths map[pathKey][]Path
 
 	stats metrics.CacheStats
+	maint metrics.MaintStats
 }
 
 // invalidate drops every cached query result. Counters survive: they
@@ -57,7 +61,6 @@ type memo struct {
 func (m *memo) invalidate() {
 	m.topoSet, m.topo, m.topoErr = false, nil, nil
 	m.idomSet, m.idom, m.idomErr = false, nil, nil
-	m.succs = nil
 	m.reach = nil
 	m.dist = nil
 	m.paths = nil
@@ -70,6 +73,15 @@ func (g *Graph) CacheStats() metrics.CacheStats {
 	g.memo.mu.Lock()
 	defer g.memo.mu.Unlock()
 	return g.memo.stats
+}
+
+// MaintStats returns the accumulated incremental-maintenance counters:
+// how many mutations were patched in place and how many memo rows each
+// patch kept versus dropped.
+func (g *Graph) MaintStats() metrics.MaintStats {
+	g.memo.mu.Lock()
+	defer g.memo.mu.Unlock()
+	return g.memo.maint
 }
 
 // topoLocked returns the cached topological order; memo.mu must be held.
@@ -102,19 +114,6 @@ func (g *Graph) idomLocked() ([]int, error) {
 	}
 	m.idomSet = true
 	return m.idom, m.idomErr
-}
-
-// succsLocked returns the cached ascending successor list of u; memo.mu
-// must be held.
-func (g *Graph) succsLocked(u int) []int {
-	m := &g.memo
-	if m.succs == nil {
-		m.succs = make([][]int, g.Len())
-	}
-	if m.succs[u] == nil {
-		m.succs[u] = g.computeSuccs(u)
-	}
-	return m.succs[u]
 }
 
 // reachLocked returns the cached reachability set of u (reach[v] reports

@@ -20,7 +20,7 @@ func (p Path) edges() map[Edge]bool {
 func (g *Graph) MaxLen(p Path) int {
 	sum := 0
 	for i := 0; i+1 < len(p); i++ {
-		t, ok := g.out[p[i]][p[i+1]]
+		t, ok := g.EdgeTiming(p[i], p[i+1])
 		if !ok {
 			return Unreachable
 		}
@@ -55,7 +55,7 @@ func (g *Graph) computePathsBetween(u, v, limit int) []Path {
 		for len(stack) > 0 {
 			x := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			for p := range g.in[x] {
+			for _, p := range g.in[x] {
 				if !reachesV[p] {
 					reachesV[p] = true
 					stack = append(stack, p)
@@ -64,31 +64,43 @@ func (g *Graph) computePathsBetween(u, v, limit int) []Path {
 		}
 	}
 	var out []Path
+	var lens []int       // max-weight length per path, accumulated during the walk
 	const hardCap = 4096 // absolute enumeration bound
 	var cur Path
-	var dfs func(x int)
-	dfs = func(x int) {
+	var dfs func(x, curLen int)
+	dfs = func(x, curLen int) {
 		if len(out) >= hardCap {
 			return
 		}
 		cur = append(cur, x)
 		if x == v {
 			out = append(out, append(Path(nil), cur...))
+			lens = append(lens, curLen)
 		} else {
-			for _, s := range g.succsLocked(x) {
+			a := &g.out[x]
+			for k, s := range a.to {
 				if reachesV[s] {
-					dfs(s)
+					dfs(s, curLen+a.agg[k].Max)
 				}
 			}
 		}
 		cur = cur[:len(cur)-1]
 	}
 	if reachesV[u] {
-		dfs(u)
+		dfs(u, 0)
 	}
-	sort.SliceStable(out, func(a, b int) bool {
-		return g.MaxLen(out[a]) > g.MaxLen(out[b])
+	idx := make([]int, len(out))
+	for k := range idx {
+		idx[k] = k
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return lens[idx[a]] > lens[idx[b]]
 	})
+	sorted := make([]Path, len(out))
+	for k, j := range idx {
+		sorted[k] = out[j]
+	}
+	out = sorted
 	if len(out) > limit {
 		out = out[:limit]
 	}
@@ -114,10 +126,11 @@ func (g *Graph) LongestMinForced(u, v int, forced map[Edge]bool) (int, error) {
 		if dist[x] == Unreachable {
 			continue
 		}
-		for s, t := range g.out[x] {
-			w := t.Min
+		a := &g.out[x]
+		for k, s := range a.to {
+			w := a.agg[k].Min
 			if forced[Edge{x, s}] {
-				w = t.Max
+				w = a.agg[k].Max
 			}
 			if d := dist[x] + w; d > dist[s] {
 				dist[s] = d

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestIncrementalSchedulerMatchesRebuildOracle is the end-to-end
+// differential test for incremental barrier-dag maintenance: across a
+// table of synthetic workloads and option combinations, scheduling with
+// incremental patching (and SelfCheck auditing every patch against a
+// from-scratch rebuild) must produce a byte-identical exported schedule to
+// scheduling with ForceRebuild.
+func TestIncrementalSchedulerMatchesRebuildOracle(t *testing.T) {
+	cases := []struct {
+		name      string
+		stmts     int
+		vars      int
+		procs     int
+		machine   MachineKind
+		insertion Insertion
+		seed      int64
+	}{
+		{"sbm-conservative-small", 20, 4, 4, SBM, Conservative, 1},
+		{"sbm-conservative-wide", 45, 6, 8, SBM, Conservative, 2},
+		{"sbm-optimal", 40, 5, 8, SBM, Optimal, 3},
+		{"dbm-conservative", 40, 5, 8, DBM, Conservative, 4},
+		{"dbm-optimal", 35, 4, 6, DBM, Optimal, 5},
+		{"sbm-naive", 30, 4, 4, SBM, Naive, 6},
+		{"sbm-dense-vars", 60, 3, 8, SBM, Conservative, 7},
+		{"dbm-two-procs", 50, 6, 2, DBM, Conservative, 8},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			g := synthGraph(t, tc.stmts, tc.vars, tc.seed)
+			opts := DefaultOptions(tc.procs)
+			opts.Machine = tc.machine
+			opts.Insertion = tc.insertion
+			opts.Seed = tc.seed
+
+			inc := opts
+			inc.SelfCheck = true
+			si, err := ScheduleDAG(g, inc)
+			if err != nil {
+				t.Fatalf("incremental: %v", err)
+			}
+
+			reb := opts
+			reb.ForceRebuild = true
+			sr, err := ScheduleDAG(g, reb)
+			if err != nil {
+				t.Fatalf("rebuild oracle: %v", err)
+			}
+
+			ji, err := si.ExportJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			jr, err := sr.ExportJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(ji, jr) {
+				t.Fatalf("incremental schedule differs from rebuild oracle\nincremental:\n%s\nrebuild:\n%s", ji, jr)
+			}
+
+			if si.Metrics.Barriers > 0 && si.Metrics.Maint.Patches == 0 {
+				t.Error("barriers were inserted but no incremental patches recorded")
+			}
+			if sr.Metrics.Maint.Patches != 0 {
+				t.Errorf("rebuild oracle recorded %d patches", sr.Metrics.Maint.Patches)
+			}
+		})
+	}
+}
+
+// TestIncrementalSelfCheckRandomized drives SelfCheck-audited runs across
+// many random seeds; every barrier insertion audits the patched dag, the
+// barrier-id map, and the per-processor timeline state against fresh
+// rebuilds, so any divergence fails the schedule.
+func TestIncrementalSelfCheckRandomized(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		stmts := 10 + int(seed%5)*12
+		procs := 2 + int(seed%4)*2
+		g := synthGraph(t, stmts, 3+int(seed%6), seed)
+		opts := DefaultOptions(procs)
+		opts.Seed = seed
+		opts.SelfCheck = true
+		if seed%2 == 0 {
+			opts.Machine = DBM
+		}
+		if seed%3 == 0 {
+			opts.Insertion = Optimal
+		}
+		s, err := ScheduleDAG(g, opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestMaintPatchRateDominates checks the perf invariant behind this
+// machinery: in a normal run, barrier insertions should overwhelmingly be
+// patched in place, with rebuilds reserved for merges and rollbacks.
+func TestMaintPatchRateDominates(t *testing.T) {
+	g := synthGraph(t, 60, 5, 11)
+	opts := DefaultOptions(8)
+	opts.Seed = 11
+	s, err := ScheduleDAG(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics.Maint
+	if m.Patches == 0 {
+		t.Fatalf("no patches: %+v", m)
+	}
+	t.Logf("maint: %v", m)
+	if m.KeptRows == 0 {
+		t.Error("selective invalidation never kept a memo row")
+	}
+}
+
+// TestRegionDelta cross-checks Schedule.RegionDelta against a direct
+// timeline scan.
+func TestRegionDelta(t *testing.T) {
+	g := synthGraph(t, 40, 5, 13)
+	s, err := ScheduleDAG(g, DefaultOptions(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, tl := range s.Procs {
+		for idx := 0; idx <= len(tl); idx++ {
+			for _, useMax := range []bool{false, true} {
+				want := 0
+				for k := idx - 1; k >= 0; k-- {
+					if tl[k].IsBarrier {
+						break
+					}
+					tm := s.Graph.Time[tl[k].Node]
+					if useMax {
+						want += tm.Max
+					} else {
+						want += tm.Min
+					}
+				}
+				if got := s.RegionDelta(p, idx, useMax); got != want {
+					t.Fatalf("RegionDelta(%d,%d,%v) = %d, want %d", p, idx, useMax, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestForceRebuildOptionValidates makes sure both maintenance modes are
+// reachable through options validation.
+func TestForceRebuildOptionValidates(t *testing.T) {
+	for _, force := range []bool{false, true} {
+		o := DefaultOptions(4)
+		o.ForceRebuild = force
+		o.SelfCheck = !force
+		if err := o.Validate(); err != nil {
+			t.Fatalf("ForceRebuild=%v: %v", force, err)
+		}
+	}
+}

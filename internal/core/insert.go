@@ -1,12 +1,18 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
 
 	"barriermimd/internal/bdag"
+	"barriermimd/internal/ir"
 )
+
+// errWouldCycle rejects a tentative barrier placement that would create a
+// cycle in the barrier dag.
+var errWouldCycle = errors.New("core: barrier placement would create a cycle")
 
 // checkOutcome classifies how a cross-processor producer/consumer pair is
 // satisfied.
@@ -209,6 +215,7 @@ type snapshot struct {
 	procs   [][]Item
 	parts   map[int][]int
 	nodeIdx []int
+	ps      []procState
 	nextBar int
 }
 
@@ -217,6 +224,7 @@ func (s *scheduler) snapshot() snapshot {
 		procs:   make([][]Item, len(s.procs)),
 		parts:   make(map[int][]int, len(s.parts)),
 		nodeIdx: append([]int(nil), s.nodeIdx...),
+		ps:      make([]procState, len(s.ps)),
 		nextBar: s.nextBar,
 	}
 	for p := range s.procs {
@@ -225,13 +233,20 @@ func (s *scheduler) snapshot() snapshot {
 	for id, ps := range s.parts {
 		sn.parts[id] = append([]int(nil), ps...)
 	}
+	for p := range s.ps {
+		sn.ps[p] = s.ps[p].clone()
+	}
 	return sn
 }
 
+// restore rolls the schedule back to sn. The barrier dag may have been
+// patched since the snapshot, so it is marked dirty and rebuilt from the
+// restored timelines on the next ensureGraph.
 func (s *scheduler) restore(sn snapshot) {
 	s.procs = sn.procs
 	s.parts = sn.parts
 	s.nodeIdx = sn.nodeIdx
+	s.ps = sn.ps
 	s.nextBar = sn.nextBar
 	s.dirty = true
 }
@@ -319,20 +334,26 @@ func (s *scheduler) insertBarrierDepth(g, i int, pt pairTiming, depth int) error
 	}
 
 	try := func(pos int) (bool, error) {
-		sn := s.snapshot()
+		ci := s.nodeIdx[i]
 		id := s.nextBar
 		s.nextBar++
 		s.parts[id] = []int{min(P, C), max(P, C)}
-		s.insertItemAt(P, pos, Item{Barrier: id, IsBarrier: true})
-		s.insertItemAt(C, s.nodeIdx[i], Item{Barrier: id, IsBarrier: true})
-		if err := s.ensureGraph(); err != nil {
-			s.restore(sn)
-			return false, nil
+		undoID := func() {
+			delete(s.parts, id)
+			s.nextBar--
+		}
+		if err := s.applyBarrier(id, P, pos, C, ci); err != nil {
+			undoID()
+			if errors.Is(err, errWouldCycle) {
+				return false, nil
+			}
+			return false, err
 		}
 		if _, found, err := s.findInvertedPending(); err != nil {
 			return false, err
 		} else if found {
-			s.restore(sn)
+			s.unapplyBarrier(P, pos, C, ci)
+			undoID()
 			return false, nil
 		}
 		return true, nil
@@ -382,17 +403,25 @@ func (s *scheduler) insertBarrierDepth(g, i int, pt pairTiming, depth int) error
 // (g, i) and returns a pending pair it would invert.
 func (s *scheduler) findInvertedPendingUnder(g, i, pos int) (pairRec, bool, error) {
 	P, C := s.assign[g], s.assign[i]
-	sn := s.snapshot()
-	defer s.restore(sn)
+	ci := s.nodeIdx[i]
 	id := s.nextBar
 	s.nextBar++
 	s.parts[id] = []int{min(P, C), max(P, C)}
-	s.insertItemAt(P, pos, Item{Barrier: id, IsBarrier: true})
-	s.insertItemAt(C, s.nodeIdx[i], Item{Barrier: id, IsBarrier: true})
-	if err := s.ensureGraph(); err != nil {
-		return pairRec{}, false, nil
+	undoID := func() {
+		delete(s.parts, id)
+		s.nextBar--
 	}
-	return s.findInvertedPending()
+	if err := s.applyBarrier(id, P, pos, C, ci); err != nil {
+		undoID()
+		if errors.Is(err, errWouldCycle) {
+			return pairRec{}, false, nil
+		}
+		return pairRec{}, false, err
+	}
+	pr, found, err := s.findInvertedPending()
+	s.unapplyBarrier(P, pos, C, ci)
+	undoID()
+	return pr, found, err
 }
 
 // forceProtect removes pr from the pending set and orders it with a
@@ -416,14 +445,109 @@ func (s *scheduler) forceProtect(pr pairRec, depth int) error {
 	return s.insertBarrierDepth(pr.g, pr.i, pt, depth-1)
 }
 
-// insertItemAt inserts it into processor p's timeline at index pos.
+// insertItemAt inserts it into processor p's timeline at index pos,
+// updating the timeline state and the node indices from pos onward. It
+// does NOT touch the barrier dag; callers either patch it (applyBarrier)
+// or mark it dirty.
 func (s *scheduler) insertItemAt(p, pos int, it Item) {
+	st := s.state(p)
 	tl := s.procs[p]
 	tl = append(tl, Item{})
 	copy(tl[pos+1:], tl[pos:])
 	tl[pos] = it
 	s.procs[p] = tl
-	s.reindex(p)
+	st.insertItem(pos, it, s.g.Time)
+	s.reindexFrom(p, pos+1)
+}
+
+// removeItemAt undoes insertItemAt: the item at index pos leaves the
+// timeline and the indices from pos onward are refreshed.
+func (s *scheduler) removeItemAt(p, pos int) {
+	tl := s.procs[p]
+	it := tl[pos]
+	copy(tl[pos:], tl[pos+1:])
+	s.procs[p] = tl[:len(tl)-1]
+	s.state(p).removeItem(pos, it, s.g.Time)
+	s.reindexFrom(p, pos)
+}
+
+// splitFor describes, for the barrier dag, the effect of inserting a
+// barrier at timeline index pos of processor p: the region running from
+// the previous barrier to the next one is split, with the prefix-sum
+// differences giving the two half-regions' times. Must be called before
+// the timeline is mutated, with the barrier dag current.
+func (s *scheduler) splitFor(p, pos int) bdag.Split {
+	prevID, start := s.lastBarBefore(p, pos)
+	st := s.state(p)
+	sp := bdag.Split{
+		Prev: s.bnode[prevID],
+		Next: bdag.NoBarrier,
+		ToNew: ir.Timing{
+			Min: st.delta(start, pos, false),
+			Max: st.delta(start, pos, true),
+		},
+	}
+	if bp := s.nextBarIdx(p, pos); bp >= 0 {
+		sp.Next = s.bnode[s.procs[p][bp].Barrier]
+		sp.FromNew = ir.Timing{
+			Min: st.delta(pos, bp, false),
+			Max: st.delta(pos, bp, true),
+		}
+	}
+	return sp
+}
+
+// applyBarrier commits barrier id across the producer processor P (at
+// timeline index posP) and consumer processor C (at posC), keeping the
+// barrier dag in sync. On the default path the dag is patched in place
+// with selective memo invalidation; a placement that would create a cycle
+// is rejected with errWouldCycle. Under Options.ForceRebuild the timelines
+// are mutated first and the dag is rebuilt, with a rebuild failure
+// reported as errWouldCycle. Either way, when an error is returned the
+// timelines are unchanged (barrier-id bookkeeping — parts, nextBar — is
+// the caller's to undo).
+func (s *scheduler) applyBarrier(id, P, posP, C, posC int) error {
+	if s.opts.ForceRebuild {
+		s.insertItemAt(P, posP, Item{Barrier: id, IsBarrier: true})
+		s.insertItemAt(C, posC, Item{Barrier: id, IsBarrier: true})
+		s.dirty = true
+		if err := s.ensureGraph(); err != nil {
+			s.unapplyBarrier(P, posP, C, posC)
+			return fmt.Errorf("%w: %v", errWouldCycle, err)
+		}
+		return nil
+	}
+	if err := s.ensureGraph(); err != nil {
+		return err
+	}
+	splits := []bdag.Split{s.splitFor(P, posP), s.splitFor(C, posC)}
+	if s.bg.WouldCycle(splits) {
+		return errWouldCycle
+	}
+	s.insertItemAt(P, posP, Item{Barrier: id, IsBarrier: true})
+	s.insertItemAt(C, posC, Item{Barrier: id, IsBarrier: true})
+	// New barrier ids are monotonic and merges always rebuild, so the
+	// appended node index equals the index a from-scratch rebuild would
+	// assign — bnode stays aligned with buildBarrierGraph (auditState
+	// checks exactly this).
+	s.bnode[id] = s.bg.InsertBarrier(s.parts[id], splits)
+	idom, err := s.bg.Dominators()
+	if err != nil {
+		s.unapplyBarrier(P, posP, C, posC)
+		return fmt.Errorf("core: barrier dag cyclic after patch: %w", err)
+	}
+	s.idom = idom
+	if s.opts.SelfCheck {
+		return s.auditState()
+	}
+	return nil
+}
+
+// unapplyBarrier removes the two timeline items applyBarrier inserted and
+// marks the barrier dag for rebuild (the patch, if any, is abandoned).
+func (s *scheduler) unapplyBarrier(P, posP, C, posC int) {
+	s.removeItemAt(P, posP)
+	s.removeItemAt(C, posC)
 	s.dirty = true
 }
 

@@ -44,6 +44,11 @@ type Metrics struct {
 	// memoized path queries (reachability, longest paths, dominators,
 	// k-longest enumerations) across every dag rebuild of the run.
 	PathCache metrics.CacheStats
+	// Maint accumulates barrier-dag maintenance counters: how many
+	// mutations were patched incrementally versus how many full rebuilds
+	// occurred (merges, rollbacks, ForceRebuild), and how many memoized
+	// rows selective invalidation kept versus dropped.
+	Maint metrics.MaintStats
 	// Stages records wall-clock time per scheduler stage ("order",
 	// "place", "merge", "verify", "finalize"). "merge" and "verify" run
 	// inside the placement loop, so their time is also included in

@@ -135,6 +135,16 @@ type Options struct {
 	// across; 0 selects GOMAXPROCS. Scheduling a single DAG is
 	// unaffected: results are byte-identical for every Parallelism value.
 	Parallelism int
+	// ForceRebuild disables incremental barrier-dag maintenance: every
+	// barrier insertion rebuilds the dag from the timelines, as merges and
+	// rollbacks always do. Schedules are byte-identical either way; the
+	// flag exists as the differential oracle for tests and as an escape
+	// hatch.
+	ForceRebuild bool
+	// SelfCheck audits the incrementally maintained barrier dag and
+	// per-processor timeline state against a from-scratch rebuild after
+	// every patch. Expensive; intended for tests.
+	SelfCheck bool
 }
 
 // DefaultOptions returns the paper's default configuration on n processors.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"barriermimd/internal/bdag"
 	"barriermimd/internal/dag"
@@ -53,6 +54,11 @@ type Schedule struct {
 	BarrierNode map[int]int
 	// Metrics summarizes the synchronization accounting.
 	Metrics Metrics
+
+	// regionOnce/regionIdx lazily hold per-processor prefix sums and
+	// barrier positions for RegionDelta.
+	regionOnce sync.Once
+	regionIdx  []procState
 }
 
 // NumBarriers returns the number of barriers inserted by the scheduler,
@@ -104,6 +110,47 @@ func (s *Schedule) StaticSpan() (min, max int, err error) {
 }
 
 func (s *Schedule) timingOf(node int) ir.Timing { return s.Graph.Time[node] }
+
+// CloneForMachine returns a shallow copy of the schedule with the machine
+// kind replaced. An SBM schedule is always a valid DBM schedule, so
+// simulators can re-run one under dynamic barrier matching without
+// rescheduling. The copy shares timelines, graphs, and metrics with the
+// original (Schedule contains a lazy index and cannot be copied by
+// assignment); the copy's region index is rebuilt independently.
+func (s *Schedule) CloneForMachine(m MachineKind) *Schedule {
+	c := &Schedule{
+		Graph:        s.Graph,
+		Opts:         s.Opts,
+		Procs:        s.Procs,
+		AssignTo:     s.AssignTo,
+		Participants: s.Participants,
+		Barriers:     s.Barriers,
+		BarrierNode:  s.BarrierNode,
+		Metrics:      s.Metrics,
+	}
+	c.Opts.Machine = m
+	return c
+}
+
+// RegionDelta returns the min- or max-time sum of the instructions on
+// processor p between the last barrier before timeline index idx and idx
+// itself — the δ quantity of section 4.4.1 for the item at idx. The
+// per-processor prefix sums behind it are built once, lazily, so each
+// query is O(log barriers); concurrent callers are safe.
+func (s *Schedule) RegionDelta(p, idx int, useMax bool) int {
+	s.regionOnce.Do(func() {
+		s.regionIdx = make([]procState, len(s.Procs))
+		for q := range s.Procs {
+			s.regionIdx[q] = buildProcState(s.Procs[q], s.Graph.Time)
+		}
+	})
+	st := &s.regionIdx[p]
+	start := 0
+	if k := st.lastBarAt(idx); k >= 0 {
+		start = st.barPos[k] + 1
+	}
+	return st.delta(start, idx, useMax)
+}
 
 // Validate checks structural invariants: every real node appears exactly
 // once, on the processor AssignTo claims; same-processor dependences are in

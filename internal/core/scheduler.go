@@ -75,7 +75,14 @@ type scheduler struct {
 	parts   map[int][]int
 	nextBar int
 
-	// Derived barrier-dag state, rebuilt lazily after mutations.
+	// ps mirrors procs with per-processor prefix sums and barrier
+	// positions (see timeline.go), maintained in lockstep so timeline
+	// queries are O(1)/O(log). Initialized lazily by state().
+	ps []procState
+
+	// Derived barrier-dag state. Barrier insertions patch it in place
+	// (insert.go applyBarrier); merges and rollbacks set dirty and the
+	// next ensureGraph rebuilds from the timelines.
 	dirty bool
 	bg    *bdag.Graph
 	bnode map[int]int // schedule barrier id -> bdag node index
@@ -126,26 +133,27 @@ func (s *scheduler) listOrder() ([]int, error) {
 	return nodes, nil
 }
 
-// realPreds returns i's non-dummy DAG predecessors.
+// realPreds returns i's non-dummy DAG predecessors (precomputed at DAG
+// build time; shared, read-only).
 func (s *scheduler) realPreds(i int) []int {
-	var out []int
-	for _, p := range s.g.Preds(i) {
-		if !s.g.IsDummy(p) {
-			out = append(out, p)
-		}
+	return s.g.RealPreds(i)
+}
+
+// state returns processor p's timeline state, growing the table lazily so
+// hand-constructed schedulers (tests) work without extra setup.
+func (s *scheduler) state(p int) *procState {
+	for len(s.ps) < len(s.procs) {
+		q := len(s.ps)
+		s.ps = append(s.ps, buildProcState(s.procs[q], s.g.Time))
 	}
-	return out
+	return &s.ps[p]
 }
 
 // lastInstr returns the last instruction node on processor p, or -1.
+// Barriers are only ever inserted between existing instructions, so the
+// cached last appended node stays correct across insertions.
 func (s *scheduler) lastInstr(p int) int {
-	tl := s.procs[p]
-	for k := len(tl) - 1; k >= 0; k-- {
-		if !tl[k].IsBarrier {
-			return tl[k].Node
-		}
-	}
-	return -1
+	return s.state(p).lastNode
 }
 
 // place assigns node n (the k-th list entry) to a processor and inserts
@@ -200,12 +208,7 @@ func (s *scheduler) chooseProcessor(k, n int, order []int) (int, error) {
 	if len(eligible) > 1 {
 		// Largest current maximum time (to possibly avoid a barrier);
 		// full ties broken at random.
-		best, bestMax, err := s.pickByEndTime(eligible, func(a, b int) bool { return a > b })
-		if err != nil {
-			return 0, err
-		}
-		_ = bestMax
-		return best, nil
+		return s.pickByEndTime(eligible, func(a, b int) bool { return a > b })
 	}
 
 	// Step [2]: earliest possible start; ties at random. Under the
@@ -217,8 +220,7 @@ func (s *scheduler) chooseProcessor(k, n int, order []int) (int, error) {
 			candidates = filtered
 		}
 	}
-	best, _, err := s.pickByEndTime(candidates, func(a, b int) bool { return a < b })
-	return best, err
+	return s.pickByEndTime(candidates, func(a, b int) bool { return a < b })
 }
 
 // isPred reports whether g is a direct DAG predecessor of n.
@@ -259,13 +261,13 @@ func (s *scheduler) lookaheadFilter(k, n int, order, candidates []int) []int {
 // pickByEndTime selects among candidate processors by their current
 // maximum end time (then minimum end time), using better(a,b) to compare;
 // full ties are broken with the seeded RNG.
-func (s *scheduler) pickByEndTime(candidates []int, better func(a, b int) bool) (int, int, error) {
+func (s *scheduler) pickByEndTime(candidates []int, better func(a, b int) bool) (int, error) {
 	if err := s.ensureGraph(); err != nil {
-		return 0, 0, err
+		return 0, err
 	}
 	fmin, fmax, err := s.bg.FireWindows()
 	if err != nil {
-		return 0, 0, err
+		return 0, err
 	}
 	endMax := func(p int) int {
 		lb, _ := s.lastBarBefore(p, len(s.procs[p]))
@@ -289,7 +291,7 @@ func (s *scheduler) pickByEndTime(candidates []int, better func(a, b int) bool) 
 			ties = append(ties, p)
 		}
 	}
-	return ties[s.rng.Intn(len(ties))], bestMax, nil
+	return ties[s.rng.Intn(len(ties))], nil
 }
 
 // appendNode places node n at the end of processor p's timeline. The
@@ -300,7 +302,10 @@ func (s *scheduler) pickByEndTime(candidates []int, better func(a, b int) bool) 
 // dag clean here is what lets the memoized path queries survive across
 // node placements instead of going cold on every one.
 func (s *scheduler) appendNode(p, n int) {
-	s.procs[p] = append(s.procs[p], Item{Node: n})
+	st := s.state(p)
+	it := Item{Node: n}
+	s.procs[p] = append(s.procs[p], it)
+	st.appendItem(it, s.g.Time)
 	s.assign[n] = p
 	s.nodeIdx[n] = len(s.procs[p]) - 1
 }
@@ -346,17 +351,19 @@ func buildBarrierGraph(procs [][]Item, parts map[int][]int, times []ir.Timing) (
 	return bg, bnode, nil
 }
 
-// ensureGraph rebuilds the derived barrier dag from the timelines if any
-// mutation occurred since the last build. Rebuilding (rather than
-// incrementally patching) keeps insertion and merging simple and obviously
-// consistent; barrier dags are tiny.
+// ensureGraph rebuilds the derived barrier dag from the timelines if a
+// non-patchable mutation (merge, rollback) occurred since the last build.
+// Barrier insertions patch the existing graph in place instead (see
+// applyBarrier in insert.go), so on the hot path this is a no-op.
 func (s *scheduler) ensureGraph() error {
 	if !s.dirty {
 		return nil
 	}
+	s.mx.Maint.Rebuilds++
 	if s.bg != nil {
-		// The outgoing graph's cache counters would be lost with it.
+		// The outgoing graph's counters would be lost with it.
 		s.mx.PathCache.Add(s.bg.CacheStats())
+		s.mx.Maint.Add(s.bg.MaintStats())
 	}
 	bg, bnode, err := buildBarrierGraph(s.procs, s.parts, s.g.Time)
 	if err != nil {
@@ -372,54 +379,48 @@ func (s *scheduler) ensureGraph() error {
 }
 
 // lastBarBefore returns the last barrier id before timeline index idx on
-// processor p (InitialBarrier if none) and the index just after it.
+// processor p (InitialBarrier if none) and the index just after it, in
+// O(log barriers) via the timeline state's barrier-position list.
 func (s *scheduler) lastBarBefore(p, idx int) (bar, regionStart int) {
-	tl := s.procs[p]
-	for k := idx - 1; k >= 0; k-- {
-		if tl[k].IsBarrier {
-			return tl[k].Barrier, k + 1
-		}
+	st := s.state(p)
+	if k := st.lastBarAt(idx); k >= 0 {
+		bp := st.barPos[k]
+		return s.procs[p][bp].Barrier, bp + 1
 	}
 	return InitialBarrier, 0
+}
+
+// nextBarIdx returns the timeline index of the first barrier at or after
+// index idx on processor p, or -1.
+func (s *scheduler) nextBarIdx(p, idx int) int {
+	return s.state(p).nextBarAt(idx)
 }
 
 // nextBarAfter returns the first barrier id at or after timeline index idx
 // on processor p, or -1.
 func (s *scheduler) nextBarAfter(p, idx int) int {
-	tl := s.procs[p]
-	for k := idx; k < len(tl); k++ {
-		if tl[k].IsBarrier {
-			return tl[k].Barrier
-		}
+	if bp := s.nextBarIdx(p, idx); bp >= 0 {
+		return s.procs[p][bp].Barrier
 	}
 	return -1
 }
 
 // deltaRange sums instruction times on processor p in the region from the
-// last barrier before idx up to (excluding) idx, under min or max times.
+// last barrier before idx up to (excluding) idx, under min or max times —
+// a prefix-sum difference, O(log barriers) for the region start lookup.
 func (s *scheduler) deltaRange(p, idx int, useMax bool) int {
 	_, start := s.lastBarBefore(p, idx)
-	sum := 0
-	for k := start; k < idx; k++ {
-		it := s.procs[p][k]
-		if it.IsBarrier {
-			continue // cannot happen: region is barrier-free by construction
-		}
-		t := s.g.Time[it.Node]
-		if useMax {
-			sum += t.Max
-		} else {
-			sum += t.Min
-		}
-	}
-	return sum
+	return s.state(p).delta(start, idx, useMax)
 }
 
-// reindex refreshes nodeIdx for processor p after an insertion.
-func (s *scheduler) reindex(p int) {
-	for k, it := range s.procs[p] {
-		if !it.IsBarrier {
-			s.nodeIdx[it.Node] = k
+// reindexFrom refreshes nodeIdx for processor p for timeline entries at or
+// after index from. Entries before an insertion point keep their index, so
+// callers pass the insertion point instead of rescanning the timeline.
+func (s *scheduler) reindexFrom(p, from int) {
+	tl := s.procs[p]
+	for k := from; k < len(tl); k++ {
+		if !tl[k].IsBarrier {
+			s.nodeIdx[tl[k].Node] = k
 		}
 	}
 }
@@ -436,6 +437,7 @@ func (s *scheduler) finish() (*Schedule, error) {
 	// own counters keep advancing as the schedule is queried; the
 	// snapshot here covers scheduling only.
 	s.mx.PathCache.Add(s.bg.CacheStats())
+	s.mx.Maint.Add(s.bg.MaintStats())
 	s.mx.Stages = &s.clock
 	s.mx.TotalImpliedSyncs = s.g.TotalImpliedSynchronizations()
 	s.mx.Barriers = len(s.parts) - 1

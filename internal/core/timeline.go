@@ -1,0 +1,157 @@
+package core
+
+import (
+	"sort"
+
+	"barriermimd/internal/ir"
+)
+
+// procState is the per-processor running state the scheduler maintains in
+// lockstep with the timeline, so that the placement loop's recurring
+// questions — last instruction, last barrier before an index, next barrier
+// after it, and region time sums (the δ quantities of section 4.4.1) —
+// are answered in O(1) or O(log barriers) instead of a timeline scan per
+// query:
+//
+//   - prefMin/prefMax[k] is the sum of instruction min/max times over
+//     items [0, k); barriers contribute zero, so the sum over any
+//     barrier-free region is a prefix difference;
+//   - barPos lists the timeline indices holding barrier waits, ascending,
+//     so the barriers around an index are a binary search away;
+//   - lastNode caches the most recently appended instruction (barrier
+//     insertions never change it: they join existing instructions).
+type procState struct {
+	prefMin, prefMax []int
+	barPos           []int
+	lastNode         int
+}
+
+// newProcState returns the state of an empty timeline.
+func newProcState() procState {
+	return procState{prefMin: []int{0}, prefMax: []int{0}, lastNode: -1}
+}
+
+// clone deep-copies the state for a snapshot.
+func (st *procState) clone() procState {
+	return procState{
+		prefMin:  append([]int(nil), st.prefMin...),
+		prefMax:  append([]int(nil), st.prefMax...),
+		barPos:   append([]int(nil), st.barPos...),
+		lastNode: st.lastNode,
+	}
+}
+
+// appendItem extends the prefix sums and barrier positions for an item
+// appended at the end of the timeline.
+func (st *procState) appendItem(it Item, times []ir.Timing) {
+	n := len(st.prefMin) - 1
+	dmin, dmax := 0, 0
+	if it.IsBarrier {
+		st.barPos = append(st.barPos, n)
+	} else {
+		t := times[it.Node]
+		dmin, dmax = t.Min, t.Max
+		st.lastNode = it.Node
+	}
+	st.prefMin = append(st.prefMin, st.prefMin[n]+dmin)
+	st.prefMax = append(st.prefMax, st.prefMax[n]+dmax)
+}
+
+// insertItem patches the prefix sums and barrier positions for an item
+// inserted at timeline index pos.
+func (st *procState) insertItem(pos int, it Item, times []ir.Timing) {
+	dmin, dmax := 0, 0
+	if !it.IsBarrier {
+		t := times[it.Node]
+		dmin, dmax = t.Min, t.Max
+	}
+	st.prefMin = insertPref(st.prefMin, pos, dmin)
+	st.prefMax = insertPref(st.prefMax, pos, dmax)
+	k := sort.SearchInts(st.barPos, pos)
+	for j := k; j < len(st.barPos); j++ {
+		st.barPos[j]++
+	}
+	if it.IsBarrier {
+		st.barPos = append(st.barPos, 0)
+		copy(st.barPos[k+1:], st.barPos[k:])
+		st.barPos[k] = pos
+	}
+}
+
+// removeItem undoes insertItem: the prefix sums drop the entry for the
+// item at pos and the barrier positions shift back.
+func (st *procState) removeItem(pos int, it Item, times []ir.Timing) {
+	dmin, dmax := 0, 0
+	if !it.IsBarrier {
+		t := times[it.Node]
+		dmin, dmax = t.Min, t.Max
+	}
+	st.prefMin = removePref(st.prefMin, pos, dmin)
+	st.prefMax = removePref(st.prefMax, pos, dmax)
+	k := sort.SearchInts(st.barPos, pos)
+	if it.IsBarrier {
+		st.barPos = append(st.barPos[:k], st.barPos[k+1:]...)
+	}
+	for j := k; j < len(st.barPos); j++ {
+		st.barPos[j]--
+	}
+}
+
+// insertPref splices a new prefix entry for an item of weight d inserted
+// at timeline index pos: entries through pos are unchanged, later entries
+// shift right and grow by d.
+func insertPref(pref []int, pos, d int) []int {
+	pref = append(pref, 0)
+	copy(pref[pos+1:], pref[pos:])
+	if d != 0 {
+		for k := pos + 1; k < len(pref); k++ {
+			pref[k] += d
+		}
+	}
+	return pref
+}
+
+// removePref drops the prefix entry for the item of weight d removed from
+// timeline index pos.
+func removePref(pref []int, pos, d int) []int {
+	for k := pos + 1; k < len(pref)-1; k++ {
+		pref[k] = pref[k+1] - d
+	}
+	return pref[:len(pref)-1]
+}
+
+// lastBarAt returns the position in barPos of the last barrier strictly
+// before timeline index idx, or -1.
+func (st *procState) lastBarAt(idx int) int {
+	return sort.SearchInts(st.barPos, idx) - 1
+}
+
+// nextBarAt returns the timeline index of the first barrier at or after
+// timeline index idx, or -1.
+func (st *procState) nextBarAt(idx int) int {
+	if k := sort.SearchInts(st.barPos, idx); k < len(st.barPos) {
+		return st.barPos[k]
+	}
+	return -1
+}
+
+// delta returns the instruction-time sum over timeline items [from, to)
+// under min or max times. The range must be barrier-free for the result
+// to be a region time; prefix sums make either reading O(1).
+func (st *procState) delta(from, to int, useMax bool) int {
+	if useMax {
+		return st.prefMax[to] - st.prefMax[from]
+	}
+	return st.prefMin[to] - st.prefMin[from]
+}
+
+// buildProcState derives the state of an existing timeline from scratch
+// (used by Schedule's lazy region index and as the audit oracle for the
+// scheduler's incrementally maintained copies).
+func buildProcState(tl []Item, times []ir.Timing) procState {
+	st := newProcState()
+	for _, it := range tl {
+		st.appendItem(it, times)
+	}
+	return st
+}

@@ -1,0 +1,112 @@
+package dag
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestAdjacencyMirrorsSuccs checks that the sorted adjacency behind
+// EdgeKind holds exactly the successor sets, and that every listed edge
+// answers EdgeKind with an existing kind.
+func TestAdjacencyMirrorsSuccs(t *testing.T) {
+	g := fig1Graph(t)
+	for u := range g.succs {
+		want := append([]int(nil), g.Succs(u)...)
+		sort.Ints(want)
+		got := g.adjTo[u]
+		if len(got) != len(want) {
+			t.Fatalf("node %d: adjacency %v vs sorted succs %v", u, got, want)
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("node %d: adjacency %v vs sorted succs %v", u, got, want)
+			}
+		}
+		if !sort.IntsAreSorted(got) {
+			t.Fatalf("node %d: adjacency %v not sorted", u, got)
+		}
+	}
+	for _, e := range g.Edges() {
+		if _, ok := g.EdgeKind(e.From, e.To); !ok {
+			t.Fatalf("edge %v listed but EdgeKind misses it", e)
+		}
+	}
+}
+
+// TestEdgeKindNegativeLookups checks absent edges, including probes next
+// to present ones (binary-search boundaries).
+func TestEdgeKindNegativeLookups(t *testing.T) {
+	g := fig1Graph(t)
+	for _, e := range g.Edges() {
+		if _, ok := g.EdgeKind(e.To, e.From); ok && !g.HasPath(e.To, e.From) {
+			t.Fatalf("reverse of %v reported present", e)
+		}
+	}
+	if _, ok := g.EdgeKind(0, 0); ok {
+		t.Error("self edge reported present")
+	}
+	present := make(map[Edge]bool)
+	for _, e := range g.Edges() {
+		present[e] = true
+	}
+	for u := 0; u < len(g.succs); u++ {
+		for v := 0; v < len(g.succs); v++ {
+			_, ok := g.EdgeKind(u, v)
+			if ok != present[Edge{u, v}] {
+				t.Fatalf("EdgeKind(%d,%d) = %v, edge list says %v", u, v, ok, present[Edge{u, v}])
+			}
+		}
+	}
+}
+
+// TestEdgesSortedAndReal checks the precomputed edge lists: global order
+// by (From, To) and the real-edge sublist excluding dummies.
+func TestEdgesSortedAndReal(t *testing.T) {
+	g := fig1Graph(t)
+	edges := g.Edges()
+	for k := 1; k < len(edges); k++ {
+		a, b := edges[k-1], edges[k]
+		if a.From > b.From || (a.From == b.From && a.To >= b.To) {
+			t.Fatalf("edges out of order at %d: %v then %v", k, a, b)
+		}
+	}
+	want := 0
+	for _, e := range edges {
+		if !g.IsDummy(e.From) && !g.IsDummy(e.To) {
+			want++
+		}
+	}
+	if got := len(g.RealEdges()); got != want {
+		t.Fatalf("RealEdges has %d entries, want %d", got, want)
+	}
+	for _, e := range g.RealEdges() {
+		if g.IsDummy(e.From) || g.IsDummy(e.To) {
+			t.Fatalf("real edge %v touches a dummy", e)
+		}
+	}
+}
+
+// TestRealPredsMatchesPreds checks that the precomputed non-dummy
+// predecessor lists equal Preds filtered in order — the scheduler's
+// iteration order over producers is part of its deterministic-output
+// contract.
+func TestRealPredsMatchesPreds(t *testing.T) {
+	g := fig1Graph(t)
+	for v := 0; v < len(g.preds); v++ {
+		var want []int
+		for _, u := range g.Preds(v) {
+			if !g.IsDummy(u) {
+				want = append(want, u)
+			}
+		}
+		got := g.RealPreds(v)
+		if len(got) != len(want) {
+			t.Fatalf("node %d: RealPreds %v vs filtered Preds %v", v, got, want)
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("node %d: RealPreds %v vs filtered Preds %v (order matters)", v, got, want)
+			}
+		}
+	}
+}

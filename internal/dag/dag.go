@@ -41,9 +41,18 @@ type Graph struct {
 	// [0,0]).
 	Time []ir.Timing
 
-	succs [][]int
-	preds [][]int
-	kind  map[Edge]Kind
+	// succs/preds keep build insertion order (the scheduler's iteration
+	// order, part of the deterministic-output contract); adjTo/adjKind are
+	// the same successors re-sorted per node with parallel edge kinds, so
+	// EdgeKind is a binary search instead of a map lookup. edges,
+	// realEdges, and realPreds are materialized once at Build time.
+	succs     [][]int
+	preds     [][]int
+	adjTo     [][]int
+	adjKind   [][]Kind
+	edges     []Edge
+	realEdges []Edge
+	realPreds [][]int
 }
 
 // Build constructs the DAG for a block under the given timing model.
@@ -71,18 +80,18 @@ func Build(b *ir.Block, tm ir.TimingModel) (*Graph, error) {
 		Time:  make([]ir.Timing, n+2),
 		succs: make([][]int, n+2),
 		preds: make([][]int, n+2),
-		kind:  make(map[Edge]Kind),
 	}
 	for i, t := range b.Tuples {
 		g.Time[i] = tm.Of(t.Op)
 	}
 
+	kind := make(map[Edge]Kind)
 	addEdge := func(from, to int, k Kind) {
 		e := Edge{from, to}
-		if _, dup := g.kind[e]; dup || from == to {
+		if _, dup := kind[e]; dup || from == to {
 			return
 		}
-		g.kind[e] = k
+		kind[e] = k
 		g.succs[from] = append(g.succs[from], to)
 		g.preds[to] = append(g.preds[to], from)
 	}
@@ -122,7 +131,45 @@ func Build(b *ir.Block, tm ir.TimingModel) (*Graph, error) {
 	if n == 0 {
 		addEdge(g.Entry, g.Exit, FlowEdge)
 	}
+	g.finalize(kind)
 	return g, nil
+}
+
+// finalize freezes the edge set into its query-friendly forms: per-node
+// sorted adjacency with parallel kinds (EdgeKind binary search), the
+// global sorted edge list, the real-edge sublist, and per-node non-dummy
+// predecessors (in Preds order).
+func (g *Graph) finalize(kind map[Edge]Kind) {
+	total := len(kind)
+	g.adjTo = make([][]int, len(g.succs))
+	g.adjKind = make([][]Kind, len(g.succs))
+	g.edges = make([]Edge, 0, total)
+	g.realPreds = make([][]int, len(g.preds))
+	for u, ss := range g.succs {
+		if len(ss) == 0 {
+			continue
+		}
+		to := append([]int(nil), ss...)
+		sort.Ints(to)
+		ks := make([]Kind, len(to))
+		for k, v := range to {
+			ks[k] = kind[Edge{u, v}]
+			e := Edge{u, v}
+			g.edges = append(g.edges, e)
+			if !g.IsDummy(u) && !g.IsDummy(v) {
+				g.realEdges = append(g.realEdges, e)
+			}
+		}
+		g.adjTo[u] = to
+		g.adjKind[u] = ks
+	}
+	for v, ps := range g.preds {
+		for _, u := range ps {
+			if !g.IsDummy(u) {
+				g.realPreds[v] = append(g.realPreds[v], u)
+			}
+		}
+	}
 }
 
 // Succs returns the successor node indices of i. The slice is shared; do
@@ -133,42 +180,33 @@ func (g *Graph) Succs(i int) []int { return g.succs[i] }
 // not modify.
 func (g *Graph) Preds(i int) []int { return g.preds[i] }
 
-// EdgeKind returns the kind of edge (from, to) and whether it exists.
+// RealPreds returns the non-dummy predecessors of i, in the same order as
+// Preds. The slice is shared; do not modify.
+func (g *Graph) RealPreds(i int) []int { return g.realPreds[i] }
+
+// EdgeKind returns the kind of edge (from, to) and whether it exists, by
+// binary search over from's sorted adjacency.
 func (g *Graph) EdgeKind(from, to int) (Kind, bool) {
-	k, ok := g.kind[Edge{from, to}]
-	return k, ok
+	adj := g.adjTo[from]
+	k := sort.SearchInts(adj, to)
+	if k < len(adj) && adj[k] == to {
+		return g.adjKind[from][k], true
+	}
+	return 0, false
 }
 
 // IsDummy reports whether node i is the entry or exit dummy.
 func (g *Graph) IsDummy(i int) bool { return i == g.Entry || i == g.Exit }
 
-// Edges returns all edges, sorted for determinism.
-func (g *Graph) Edges() []Edge {
-	out := make([]Edge, 0, len(g.kind))
-	for e := range g.kind {
-		out = append(out, e)
-	}
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].From != out[b].From {
-			return out[a].From < out[b].From
-		}
-		return out[a].To < out[b].To
-	})
-	return out
-}
+// Edges returns all edges, sorted by (From, To), precomputed at Build
+// time. The slice is shared; do not modify.
+func (g *Graph) Edges() []Edge { return g.edges }
 
 // RealEdges returns the edges between real nodes only, i.e. excluding those
-// incident to the dummy entry/exit. Each such edge is one "implied
-// synchronization" in the paper's accounting (section 3.1).
-func (g *Graph) RealEdges() []Edge {
-	var out []Edge
-	for _, e := range g.Edges() {
-		if !g.IsDummy(e.From) && !g.IsDummy(e.To) {
-			out = append(out, e)
-		}
-	}
-	return out
-}
+// incident to the dummy entry/exit, sorted by (From, To). Each such edge is
+// one "implied synchronization" in the paper's accounting (section 3.1).
+// The slice is shared; do not modify.
+func (g *Graph) RealEdges() []Edge { return g.realEdges }
 
 // TotalImpliedSynchronizations is the number of edges between real nodes:
 // each is a producer/consumer pair that a conventional MIMD would

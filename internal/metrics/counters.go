@@ -36,6 +36,44 @@ func (c CacheStats) String() string {
 	return fmt.Sprintf("hits=%d misses=%d rate=%.1f%%", c.Hits, c.Misses, 100*c.HitRate())
 }
 
+// MaintStats counts how a derived structure (such as the scheduler's
+// barrier dag) was kept up to date across mutations: patched in place or
+// rebuilt from scratch, and how many memoized query rows each patch kept
+// alive versus dropped.
+type MaintStats struct {
+	// Patches counts mutations applied incrementally.
+	Patches uint64
+	// Rebuilds counts mutations that fell back to a full rebuild.
+	Rebuilds uint64
+	// KeptRows counts memoized query rows that survived a patch because
+	// the mutation provably could not affect them.
+	KeptRows uint64
+	// DroppedRows counts memoized query rows a patch invalidated.
+	DroppedRows uint64
+}
+
+// PatchRate is Patches / (Patches + Rebuilds), or 0 with no mutations.
+func (m MaintStats) PatchRate() float64 {
+	if n := m.Patches + m.Rebuilds; n > 0 {
+		return float64(m.Patches) / float64(n)
+	}
+	return 0
+}
+
+// Add accumulates another counter set into m (used when a patched
+// structure is discarded and its lifetime counters are rolled up).
+func (m *MaintStats) Add(o MaintStats) {
+	m.Patches += o.Patches
+	m.Rebuilds += o.Rebuilds
+	m.KeptRows += o.KeptRows
+	m.DroppedRows += o.DroppedRows
+}
+
+func (m MaintStats) String() string {
+	return fmt.Sprintf("patches=%d rebuilds=%d (%.1f%% patched) rows kept=%d dropped=%d",
+		m.Patches, m.Rebuilds, 100*m.PatchRate(), m.KeptRows, m.DroppedRows)
+}
+
 // StageClock accumulates wall-clock time per named pipeline stage
 // (ordering, placement, merging, verification, ...). The zero value is
 // ready to use. StageClock is not safe for concurrent use; give each
