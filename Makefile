@@ -1,9 +1,12 @@
 GO ?= go
 
-# benchcmp knobs: baseline git ref, benchmark filter, iteration count.
+# bench/benchcmp knobs: baseline git ref, benchmark filter, iteration
+# count, and memory reporting (set BENCHMEM= to drop allocs/op columns,
+# BENCH=. to run every benchmark).
 BASE ?= HEAD~1
 BENCH ?= BenchmarkSchedule
 COUNT ?= 10
+BENCHMEM ?= -benchmem
 
 .PHONY: build test race vet fmt-check bench benchcmp check
 
@@ -26,7 +29,7 @@ fmt-check:
 	fi
 
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem ./...
+	$(GO) test -run '^$$' -bench '$(BENCH)' $(BENCHMEM) ./...
 
 # Compare tier-1 benchmarks between a baseline ref (BASE, default HEAD~1)
 # and the working tree. The baseline is checked out into a throwaway git
@@ -39,9 +42,9 @@ benchcmp:
 	trap 'git worktree remove --force "$$tmp/base" >/dev/null 2>&1 || true; rm -rf "$$tmp"' EXIT; \
 	git worktree add --detach "$$tmp/base" "$(BASE)" >/dev/null; \
 	echo "==> benchmarking baseline $(BASE)"; \
-	( cd "$$tmp/base" && $(GO) test -run '^$$' -bench '$(BENCH)' -count $(COUNT) . ) > "$$tmp/old.txt"; \
+	( cd "$$tmp/base" && $(GO) test -run '^$$' -bench '$(BENCH)' $(BENCHMEM) -count $(COUNT) . ) > "$$tmp/old.txt"; \
 	echo "==> benchmarking working tree"; \
-	$(GO) test -run '^$$' -bench '$(BENCH)' -count $(COUNT) . > "$$tmp/new.txt"; \
+	$(GO) test -run '^$$' -bench '$(BENCH)' $(BENCHMEM) -count $(COUNT) . > "$$tmp/new.txt"; \
 	if command -v benchstat >/dev/null 2>&1; then \
 		benchstat "$$tmp/old.txt" "$$tmp/new.txt"; \
 	else \

@@ -3,6 +3,7 @@ package bdag
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"barriermimd/internal/ir"
 )
@@ -52,6 +53,15 @@ type Graph struct {
 	out   []arcs  // successor arcs, sorted by target
 	in    [][]int // sorted predecessor lists
 	memo  memo    // query caches, invalidated on mutation
+
+	// cow flips true once Succs or Preds hands an adjacency slice to a
+	// caller; from then on mutations copy those slices instead of editing
+	// in place, so the handed-out views keep their contents. Until then —
+	// the whole scheduling hot loop, which only queries through the memo —
+	// inserts and deletes shift elements within the existing backing
+	// array and allocate nothing. Atomic because finished schedules are
+	// read concurrently across experiment workers.
+	cow atomic.Bool
 }
 
 // New returns a graph containing only the initial barrier across the given
@@ -74,14 +84,56 @@ func (g *Graph) AddBarrier(participants []int) int {
 }
 
 // addNode appends the node arrays for a new barrier without touching the
-// memo.
+// memo. Row headers parked beyond the live length (left by Reset) are
+// recycled, so a warm arena rebuild allocates nothing per node. The
+// spares never alias live rows: node rows are only appended, never
+// shifted.
 func (g *Graph) addNode(participants []int) int {
-	p := append([]int(nil), participants...)
-	sort.Ints(p)
-	g.parts = append(g.parts, p)
-	g.out = append(g.out, arcs{})
-	g.in = append(g.in, nil)
-	return len(g.parts) - 1
+	n := len(g.parts)
+	if n < cap(g.parts) {
+		g.parts = g.parts[:n+1]
+		g.parts[n] = append(g.parts[n][:0], participants...)
+	} else {
+		g.parts = append(g.parts, append([]int(nil), participants...))
+	}
+	sort.Ints(g.parts[n])
+	if n < cap(g.out) {
+		g.out = g.out[:n+1]
+		a := &g.out[n]
+		a.to, a.agg, a.contrib = a.to[:0], a.agg[:0], a.contrib[:0]
+	} else {
+		g.out = append(g.out, arcs{})
+	}
+	if n < cap(g.in) {
+		g.in = g.in[:n+1]
+		g.in[n] = g.in[n][:0]
+	} else {
+		g.in = append(g.in, nil)
+	}
+	return n
+}
+
+// Reset returns the graph to a single initial barrier while keeping every
+// backing array: node rows, adjacency storage, and memoized query rows
+// are parked for the next generation to reclaim, so a scheduler can
+// rebuild its derived barrier dag in place instead of allocating a fresh
+// graph per merge or rollback. Lifetime counters restart; harvest
+// CacheStats/MaintStats first.
+//
+// Reset breaks the shared-slice contract: every slice a query on this
+// graph returned earlier is overwritten by the next generation. Callers
+// must ensure no views are outstanding — the scheduler copies the few
+// results it keeps across rebuilds and stops resetting once a graph
+// escapes into a finished Schedule.
+func (g *Graph) Reset(initialParticipants []int) {
+	g.memo.mu.Lock()
+	g.parts = g.parts[:0]
+	g.out = g.out[:0]
+	g.in = g.in[:0]
+	g.memo.reset()
+	g.memo.mu.Unlock()
+	g.cow.Store(false)
+	g.AddBarrier(initialParticipants)
 }
 
 // invalidate drops the memoized query caches after a mutation.
@@ -114,11 +166,12 @@ func (g *Graph) addContrib(u, v int, t ir.Timing) {
 	a := &g.out[u]
 	k, ok := a.find(v)
 	if !ok {
-		a.to = insertInt(a.to, k, v)
-		a.agg = insertTiming(a.agg, k, t)
-		a.contrib = insertContrib(a.contrib, k, []ir.Timing{t})
+		cow := g.cow.Load()
+		a.to = insertInt(a.to, k, v, cow)
+		a.agg = insertTiming(a.agg, k, t, cow)
+		a.contrib = insertContrib(a.contrib, k, t, cow)
 		ki := sort.SearchInts(g.in[v], u)
-		g.in[v] = insertInt(g.in[v], ki, u)
+		g.in[v] = insertInt(g.in[v], ki, u, cow)
 		return
 	}
 	a.contrib[k] = append(a.contrib[k], t)
@@ -154,18 +207,24 @@ func (g *Graph) removeContrib(u, v int, t ir.Timing) {
 		panic(fmt.Sprintf("bdag: contribution %v absent from edge (%d,%d)", t, u, v))
 	}
 	if len(c) == 1 {
-		a.to = deleteAt(a.to, k)
-		a.agg = deleteAt(a.agg, k)
-		a.contrib = deleteAt(a.contrib, k)
+		cow := g.cow.Load()
+		a.to = deleteAt(a.to, k, cow)
+		a.agg = deleteAt(a.agg, k, cow)
+		a.contrib = deleteAt(a.contrib, k, cow)
 		ki := sort.SearchInts(g.in[v], u)
-		g.in[v] = deleteAt(g.in[v], ki)
+		g.in[v] = deleteAt(g.in[v], ki, cow)
 		return
 	}
-	// Keep the multiset copy-on-write too: the slice is not exposed, but
-	// a rolled-back clone must not see the mutation.
-	nc := make([]ir.Timing, 0, len(c)-1)
-	nc = append(nc, c[:at]...)
-	nc = append(nc, c[at+1:]...)
+	// The multiset is never exposed, but under copy-on-write the whole
+	// adjacency generation must stay intact, so it is copied too.
+	var nc []ir.Timing
+	if g.cow.Load() {
+		nc = make([]ir.Timing, 0, len(c)-1)
+		nc = append(nc, c[:at]...)
+		nc = append(nc, c[at+1:]...)
+	} else {
+		nc = append(c[:at], c[at+1:]...)
+	}
 	a.contrib[k] = nc
 	agg := ir.Timing{}
 	for _, x := range nc {
@@ -179,38 +238,73 @@ func (g *Graph) removeContrib(u, v int, t ir.Timing) {
 	a.agg[k] = agg
 }
 
-// insertInt returns a copy of s with v inserted at position k. A fresh
-// slice is always allocated so previously returned views keep their
-// contents.
-func insertInt(s []int, k, v int) []int {
-	out := make([]int, len(s)+1)
-	copy(out, s[:k])
-	out[k] = v
-	copy(out[k+1:], s[k:])
-	return out
+// insertInt returns s with v inserted at position k. Under cow a fresh
+// slice is allocated so previously returned views keep their contents;
+// otherwise the tail shifts within the existing backing array.
+func insertInt(s []int, k, v int, cow bool) []int {
+	if cow {
+		out := make([]int, len(s)+1)
+		copy(out, s[:k])
+		out[k] = v
+		copy(out[k+1:], s[k:])
+		return out
+	}
+	s = append(s, 0)
+	copy(s[k+1:], s[k:])
+	s[k] = v
+	return s
 }
 
-func insertTiming(s []ir.Timing, k int, t ir.Timing) []ir.Timing {
-	out := make([]ir.Timing, len(s)+1)
-	copy(out, s[:k])
-	out[k] = t
-	copy(out[k+1:], s[k:])
-	return out
+func insertTiming(s []ir.Timing, k int, t ir.Timing, cow bool) []ir.Timing {
+	if cow {
+		out := make([]ir.Timing, len(s)+1)
+		copy(out, s[:k])
+		out[k] = t
+		copy(out[k+1:], s[k:])
+		return out
+	}
+	s = append(s, ir.Timing{})
+	copy(s[k+1:], s[k:])
+	s[k] = t
+	return s
 }
 
-func insertContrib(s [][]ir.Timing, k int, c []ir.Timing) [][]ir.Timing {
-	out := make([][]ir.Timing, len(s)+1)
-	copy(out, s[:k])
-	out[k] = c
-	copy(out[k+1:], s[k:])
-	return out
+// insertContrib inserts a fresh single-contribution multiset {t} at
+// position k. Without cow it recycles the slice header parked just beyond
+// len(s) when one exists — after a Reset those spares are the previous
+// generation's dead rows, so warm arena rebuilds allocate nothing per
+// edge. Spares never alias a live row: contribution rows are only ever
+// appended or tail-zeroed by deleteAt, never duplicated past the length.
+func insertContrib(s [][]ir.Timing, k int, t ir.Timing, cow bool) [][]ir.Timing {
+	if cow {
+		out := make([][]ir.Timing, len(s)+1)
+		copy(out, s[:k])
+		out[k] = []ir.Timing{t}
+		copy(out[k+1:], s[k:])
+		return out
+	}
+	var spare []ir.Timing
+	if n := len(s); n < cap(s) {
+		spare = s[:n+1][n]
+	}
+	s = append(s, nil)
+	copy(s[k+1:], s[k:])
+	s[k] = append(spare[:0], t)
+	return s
 }
 
-// deleteAt returns a copy of s without the element at position k.
-func deleteAt[T any](s []T, k int) []T {
-	out := make([]T, 0, len(s)-1)
-	out = append(out, s[:k]...)
-	return append(out, s[k+1:]...)
+// deleteAt returns s without the element at position k; fresh copy under
+// cow, in-place shift otherwise.
+func deleteAt[T any](s []T, k int, cow bool) []T {
+	if cow {
+		out := make([]T, 0, len(s)-1)
+		out = append(out, s[:k]...)
+		return append(out, s[k+1:]...)
+	}
+	copy(s[k:], s[k+1:])
+	var zero T
+	s[len(s)-1] = zero
+	return s[:len(s)-1]
 }
 
 // EdgeTiming returns the aggregated timing of edge (u,v) and whether the
@@ -224,13 +318,19 @@ func (g *Graph) EdgeTiming(u, v int) (ir.Timing, bool) {
 }
 
 // Succs returns the successors of u in ascending order. The slice is
-// shared and stays valid across mutations (mutations allocate fresh
-// adjacency); do not modify.
-func (g *Graph) Succs(u int) []int { return g.out[u].to }
+// shared and stays valid across mutations (handing it out switches the
+// graph to copy-on-write adjacency); do not modify.
+func (g *Graph) Succs(u int) []int {
+	g.cow.Store(true)
+	return g.out[u].to
+}
 
-// Preds returns the predecessors of v in ascending order. Shared; do not
-// modify.
-func (g *Graph) Preds(v int) []int { return g.in[v] }
+// Preds returns the predecessors of v in ascending order. Shared, valid
+// across mutations as with Succs; do not modify.
+func (g *Graph) Preds(v int) []int {
+	g.cow.Store(true)
+	return g.in[v]
+}
 
 // Edges returns all edges sorted by (From, To).
 func (g *Graph) Edges() []Edge {
@@ -252,25 +352,36 @@ func (g *Graph) HasPath(u, v int) bool {
 	}
 	g.memo.mu.Lock()
 	defer g.memo.mu.Unlock()
-	return g.reachLocked(u)[v]
+	return g.reachLocked(u).test(v)
 }
 
 // computeReach returns the reachability set of u (including u itself).
-func (g *Graph) computeReach(u int) []bool {
-	seen := make([]bool, g.Len())
-	stack := []int{u}
-	seen[u] = true
+// memo.mu must be held: the DFS reuses the memo's traversal stack and
+// short-circuits through already-cached rows — hitting a node whose row
+// is cached unions the whole row in one word-ops pass instead of walking
+// its cone again.
+func (g *Graph) computeReach(u int) bitset {
+	m := &g.memo
+	r := m.grabBitset(g.Len())
+	stack := append(m.stack[:0], u)
+	r.set(u)
 	for len(stack) > 0 {
 		x := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for _, s := range g.out[x].to {
-			if !seen[s] {
-				seen[s] = true
-				stack = append(stack, s)
+			if r.test(s) {
+				continue
 			}
+			if row := m.reachRow(s); row != nil {
+				r.or(row)
+				continue
+			}
+			r.set(s)
+			stack = append(stack, s)
 		}
 	}
-	return seen
+	m.stack = stack
+	return r
 }
 
 // Ordered reports whether barriers a and b are ordered by <_b (a path
@@ -292,20 +403,22 @@ func (g *Graph) Topo() ([]int, error) {
 	return g.topoLocked()
 }
 
-// computeTopo builds the topological order.
+// computeTopo builds the topological order; memo.mu must be held (the
+// in-degree counter and ready list come from memo scratch).
 func (g *Graph) computeTopo() ([]int, error) {
 	n := g.Len()
-	indeg := make([]int, n)
+	m := &g.memo
+	indeg := m.grabInts(n)
 	for v := range g.in {
 		indeg[v] = len(g.in[v])
 	}
-	var ready []int
+	ready := m.stack[:0]
 	for i := 0; i < n; i++ {
 		if indeg[i] == 0 {
 			ready = append(ready, i)
 		}
 	}
-	order := make([]int, 0, n)
+	order := m.grabInts(n)[:0]
 	for len(ready) > 0 {
 		sort.Ints(ready)
 		v := ready[0]
@@ -318,6 +431,10 @@ func (g *Graph) computeTopo() ([]int, error) {
 			}
 		}
 	}
+	// ready came from m.stack but is not stored back: the ready[1:]
+	// drain advances its start, and m.stack keeps the full-capacity
+	// header. indeg goes back on the freelist.
+	m.intFree = append(m.intFree, indeg)
 	if len(order) != n {
 		return nil, fmt.Errorf("bdag: cycle detected (%d of %d barriers ordered)", len(order), n)
 	}
@@ -345,7 +462,7 @@ func (g *Graph) LongestFrom(u int, useMax bool) ([]int, error) {
 // computeLongestFrom runs the topological-order relaxation given a
 // precomputed order.
 func (g *Graph) computeLongestFrom(order []int, u int, useMax bool) []int {
-	dist := make([]int, g.Len())
+	dist := g.memo.grabInts(g.Len())
 	for i := range dist {
 		dist[i] = Unreachable
 	}
@@ -394,7 +511,7 @@ func (g *Graph) Dominators() ([]int, error) {
 // computeDominators runs the iterative dataflow algorithm given a
 // precomputed topological order.
 func (g *Graph) computeDominators(order []int) []int {
-	idom := make([]int, g.Len())
+	idom := g.memo.grabInts(g.Len())
 	for i := range idom {
 		idom[i] = -1
 	}
@@ -407,8 +524,13 @@ func (g *Graph) computeDominators(order []int) []int {
 // topological order until fixpoint, updating idom in place. When affected
 // is non-nil only nodes marked in it are recomputed; the others are taken
 // as final inputs (the incremental-dominator patch of incremental.go).
-func (g *Graph) refineDominators(order, idom []int, affected []bool) {
-	pos := make([]int, g.Len())
+// memo.mu must be held (the position index uses the memo's scratch).
+func (g *Graph) refineDominators(order, idom []int, affected bitset) {
+	m := &g.memo
+	if cap(m.pos) < g.Len() {
+		m.pos = make([]int, g.Len())
+	}
+	pos := m.pos[:g.Len()]
 	for k, v := range order {
 		pos[v] = k
 	}
@@ -427,7 +549,7 @@ func (g *Graph) refineDominators(order, idom []int, affected []bool) {
 	for changed {
 		changed = false
 		for _, v := range order {
-			if v == Initial || (affected != nil && !affected[v]) {
+			if v == Initial || (affected != nil && !affected.test(v)) {
 				continue
 			}
 			newIdom := -1

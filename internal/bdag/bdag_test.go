@@ -299,9 +299,16 @@ func TestLongestMinForcedUnreachable(t *testing.T) {
 
 func TestPathEdges(t *testing.T) {
 	p := Path{0, 2, 3, 4}
-	e := p.edges()
-	if len(e) != 3 || !e[Edge{0, 2}] || !e[Edge{2, 3}] || !e[Edge{3, 4}] {
-		t.Errorf("edges = %v", e)
+	e := p.appendEdges(nil)
+	want := []Edge{{0, 2}, {2, 3}, {3, 4}}
+	if len(e) != 3 || e[0] != want[0] || e[1] != want[1] || e[2] != want[2] {
+		t.Errorf("edges = %v, want %v", e, want)
+	}
+	// A caller-provided buffer is reused in place.
+	buf := make([]Edge, 0, 8)
+	e2 := p.appendEdges(buf)
+	if &e2[0] != &buf[:1][0] {
+		t.Error("appendEdges ignored the provided buffer")
 	}
 }
 

@@ -1,0 +1,42 @@
+package bdag
+
+// bitset is a word-packed node set: bit i of word i/64 marks node i. The
+// memoized reachability rows use it instead of []bool so a row costs one
+// word per 64 barriers and set/test/union are single instructions per
+// word. Rows are sized for the graph at computation time and never grown:
+// a node appended later is provably not in any surviving row (see
+// patchLocked), and test bounds-checks so short rows simply answer false
+// for it.
+type bitset []uint64
+
+// newBitset returns an empty set able to hold nodes [0, n).
+func newBitset(n int) bitset { return make(bitset, (n+63)>>6) }
+
+// set adds node i; i must be within the set's capacity.
+func (b bitset) set(i int) { b[i>>6] |= 1 << uint(i&63) }
+
+// test reports whether node i is in the set. Indices beyond the set's
+// sizing answer false, so rows computed before the graph grew stay
+// queryable.
+func (b bitset) test(i int) bool {
+	w := i >> 6
+	return w < len(b) && b[w]&(1<<uint(i&63)) != 0
+}
+
+// or unions src into b. src may be shorter than b (a row computed on a
+// smaller graph); the missing high words are empty.
+func (b bitset) or(src bitset) {
+	for w, x := range src {
+		b[w] |= x
+	}
+}
+
+// testAny reports whether any of nodes is in the set.
+func (b bitset) testAny(nodes []int) bool {
+	for _, x := range nodes {
+		if b.test(x) {
+			return true
+		}
+	}
+	return false
+}

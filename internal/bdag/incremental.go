@@ -120,113 +120,86 @@ func (g *Graph) applySplit(w int, sp Split) {
 func (g *Graph) patchLocked(w int, isNew bool, splits []Split) {
 	m := &g.memo
 	m.maint.Patches++
-	n := g.Len()
 
 	// dirty holds the sources of every new or changed edge: each split's
 	// Prev (edges (Prev,w) added, (Prev,Next) changed or removed) and, for
 	// a pre-existing w, w itself (edges (w,Next) added). A memoized row
 	// whose source reaches none of them cannot see the mutation. For a
 	// brand-new w no old row can reach it, so the Prevs alone decide.
-	var dirty []int
+	dirty := m.dirty[:0]
 	for _, sp := range splits {
 		dirty = append(dirty, sp.Prev)
 	}
 	if !isNew {
 		dirty = append(dirty, w)
 	}
+	m.dirty = dirty
+
+	// Path enumerations first, judged by the still-intact reachability
+	// rows: an enumeration whose source u cannot reach a dirty node only
+	// ever walks adjacency the mutation did not touch (all changed edges
+	// leave a dirty node, and the new node is unreachable from u), so its
+	// ranked prefix and generator state stay exact. With no cached row for
+	// u the entry is dropped conservatively rather than paying a traversal
+	// inside the patch.
+	for key, e := range m.enums {
+		r := m.reachRow(key.u)
+		if r == nil || r.testAny(dirty) {
+			m.freeEnum(e)
+			delete(m.enums, key)
+			m.maint.DroppedRows++
+			continue
+		}
+		m.maint.KeptRows++
+	}
 
 	// Reachability rows: the cached row itself tells whether its source
 	// reaches a dirty node (reachability *to* the dirty nodes is untouched
-	// by the mutation, which only adds edges out of them). Surviving rows
-	// are extended for the new node, which they provably cannot reach.
-	oldReach := m.reach
-	if m.reach != nil {
-		kept := make(map[int][]bool, len(m.reach))
-		for src, r := range m.reach {
-			if reachesAny(r, dirty) {
-				m.maint.DroppedRows++
-				continue
-			}
-			m.maint.KeptRows++
-			kept[src] = extendBools(r, n, isNew)
+	// by the mutation, which only adds edges out of them). Dropped rows
+	// are nil-ed in place and parked on the bitset freelist — reach rows
+	// never leave the package (HasPath returns a bool and the patch
+	// helpers read them under memo.mu), so no caller can hold one across
+	// the mutation. Survivors need no extension because bitset.test
+	// bounds-checks, and a surviving row provably cannot reach the new
+	// node.
+	for src, r := range m.reach {
+		if r == nil {
+			continue
 		}
-		m.reach = kept
+		if r.testAny(dirty) {
+			m.bsFree = append(m.bsFree, r)
+			m.reach[src] = nil
+			m.maint.DroppedRows++
+			continue
+		}
+		m.maint.KeptRows++
 	}
 
 	// Longest-path rows: a source reaches a node exactly when its distance
-	// is not Unreachable.
-	if m.dist != nil {
-		kept := make(map[distKey][]int, len(m.dist))
-		for key, d := range m.dist {
-			drop := false
-			for _, x := range dirty {
-				if d[x] != Unreachable {
-					drop = true
-					break
-				}
+	// is not Unreachable. Surviving rows are extended with an Unreachable
+	// entry for the new node (callers index them by barrier id); append
+	// never rewrites the visible prefix a prior caller may hold.
+	for key, d := range m.dist {
+		drop := false
+		for _, x := range dirty {
+			if d[x] != Unreachable {
+				drop = true
+				break
 			}
-			if drop {
-				m.maint.DroppedRows++
-				continue
-			}
-			m.maint.KeptRows++
-			kept[key] = extendInts(d, n, isNew)
 		}
-		m.dist = kept
-	}
-
-	// Path enumerations: drop entries whose source may reach a dirty node,
-	// judged by the pre-patch reachability rows; with no cached row the
-	// entry is dropped conservatively.
-	if m.paths != nil {
-		kept := make(map[pathKey][]Path, len(m.paths))
-		for key, p := range m.paths {
-			r, ok := oldReach[key.u]
-			if !ok || reachesAny(r, dirty) {
-				m.maint.DroppedRows++
-				continue
-			}
-			m.maint.KeptRows++
-			kept[key] = p
+		if drop {
+			delete(m.dist, key)
+			m.maint.DroppedRows++
+			continue
 		}
-		m.paths = kept
+		m.maint.KeptRows++
+		if isNew {
+			m.dist[key] = append(d, Unreachable)
+		}
 	}
 
 	g.patchTopoLocked(w, isNew)
 	g.patchDomLocked(w)
-}
-
-// reachesAny reports whether the reachability row r covers any of nodes.
-func reachesAny(r []bool, nodes []int) bool {
-	for _, x := range nodes {
-		if r[x] {
-			return true
-		}
-	}
-	return false
-}
-
-// extendBools returns r, extended by one false entry (a fresh copy) when
-// grow is set.
-func extendBools(r []bool, n int, grow bool) []bool {
-	if !grow {
-		return r
-	}
-	out := make([]bool, n)
-	copy(out, r)
-	return out
-}
-
-// extendInts returns d, extended by one Unreachable entry (a fresh copy)
-// when grow is set.
-func extendInts(d []int, n int, grow bool) []int {
-	if !grow {
-		return d
-	}
-	out := make([]int, n)
-	copy(out, d)
-	out[n-1] = Unreachable
-	return out
 }
 
 // patchTopoLocked keeps the cached topological order valid after barrier w
@@ -243,7 +216,10 @@ func (g *Graph) patchTopoLocked(w int, isNew bool) {
 		m.topoSet, m.topo, m.topoErr = false, nil, nil
 		return
 	}
-	pos := make([]int, g.Len())
+	if cap(m.pos) < g.Len() {
+		m.pos = make([]int, g.Len())
+	}
+	pos := m.pos[:g.Len()]
 	for i := range pos {
 		pos[i] = -1
 	}
@@ -271,7 +247,7 @@ func (g *Graph) patchTopoLocked(w int, isNew bool) {
 		return
 	}
 	if maxPred < minSucc {
-		order := make([]int, 0, len(m.topo)+1)
+		order := m.grabInts(len(m.topo) + 1)[:0]
 		order = append(order, m.topo[:maxPred+1]...)
 		order = append(order, w)
 		order = append(order, m.topo[maxPred+1:]...)
@@ -302,10 +278,14 @@ func (g *Graph) patchDomLocked(w int) {
 		return
 	}
 	affected := g.computeReach(w)
-	idom := make([]int, g.Len())
+	// A fresh vector, not an in-place edit: callers holding the old idom
+	// slice keep their pre-mutation view. Entries past the old length
+	// (the new node w) are always in affected, so the -1 pass below
+	// initializes them.
+	idom := m.grabInts(g.Len())
 	copy(idom, m.idom)
-	for v, hit := range affected {
-		if hit {
+	for v := range idom {
+		if affected.test(v) {
 			idom[v] = -1
 		}
 	}
@@ -315,4 +295,5 @@ func (g *Graph) patchDomLocked(w int) {
 	idom[Initial] = Initial
 	g.refineDominators(order, idom, affected)
 	m.idom = idom
+	m.bsFree = append(m.bsFree, affected)
 }

@@ -9,19 +9,26 @@ import (
 // The scheduler issues the same path queries many times between barrier
 // mutations: every producer/consumer check walks longest paths from its
 // common dominator, every insertion re-verifies all pending pairs through
-// HasPath, and the optimal inserter re-enumerates k-longest paths. All of
-// these are memoized here. Construction-time mutations (AddBarrier,
-// AddRegion) invalidate wholesale; the incremental mutations of
-// incremental.go invalidate selectively, dropping only the rows whose
-// source can reach the mutated edges and keeping everything else. Repeated
-// queries then cost O(1) instead of a fresh traversal — across mutations,
-// not just between them.
+// HasPath, and the optimal inserter ranks k-longest paths. All of these
+// are memoized here. Construction-time mutations (AddBarrier, AddRegion)
+// invalidate wholesale; the incremental mutations of incremental.go
+// invalidate selectively, dropping only the rows whose source can reach
+// the mutated edges and keeping everything else. Repeated queries then
+// cost O(1) instead of a fresh traversal — across mutations, not just
+// between them.
 //
 // Cached results (topological orders, distance vectors, reachability
 // sets, path lists) are returned as shared slices; callers must treat
-// them as read-only. Patch operations never mutate a cached slice in
-// place: they replace entries with freshly allocated copies, so a caller
-// holding a slice across a mutation still sees the pre-mutation view.
+// them as read-only. Patch operations never mutate the visible prefix of
+// a cached slice in place: entries are replaced, appended to, or dropped,
+// so a caller holding a slice across a mutation still sees the
+// pre-mutation view.
+//
+// Path enumerations are the exception to the "computed under memo.mu"
+// rule: memo.mu only guards the per-(u,v) enumeration entry table, and
+// the lazy best-first generation itself runs under the entry's own lock
+// (per-key single-flight). Concurrent readers of a finished graph
+// therefore never serialize one pair's path search behind another's.
 
 // distKey identifies one LongestFrom result.
 type distKey struct {
@@ -29,9 +36,9 @@ type distKey struct {
 	useMax bool
 }
 
-// pathKey identifies one PathsBetween result (limit already normalized).
+// pathKey identifies one lazy path enumeration.
 type pathKey struct {
-	u, v, limit int
+	u, v int
 }
 
 // memo holds the per-graph query caches. The mutex makes a finished graph
@@ -48,27 +55,135 @@ type memo struct {
 	idom    []int
 	idomErr error
 
-	reach map[int][]bool
+	// reach[u] is the word-packed reachability set of u, nil when not
+	// cached. Indexed densely by source so invalidation never rebuilds a
+	// map; dropped rows are nil-ed in place.
+	reach []bitset
 	dist  map[distKey][]int
-	paths map[pathKey][]Path
+	enums map[pathKey]*pathEnum
+
+	// stack, pos, and dirty are traversal scratch reused by the
+	// compute/patch helpers; all are only touched with mu held.
+	stack []int
+	pos   []int
+	dirty []int
+
+	// intFree, bsFree, and enumFree are freelists of dead memo state, fed
+	// by reset when an arena graph starts a new generation (and by the
+	// patch helpers for rows nothing outside the package can hold) and
+	// drained by the compute helpers. Only touched with mu held.
+	intFree  [][]int
+	bsFree   []bitset
+	enumFree []*pathEnum
 
 	stats metrics.CacheStats
 	maint metrics.MaintStats
 }
 
 // invalidate drops every cached query result. Counters survive: they
-// describe the graph's lifetime, not one generation.
+// describe the graph's lifetime, not one generation. Row tables keep
+// their backing storage so construction-time rebuild loops do not
+// reallocate them per mutation.
 func (m *memo) invalidate() {
 	m.topoSet, m.topo, m.topoErr = false, nil, nil
 	m.idomSet, m.idom, m.idomErr = false, nil, nil
-	m.reach = nil
-	m.dist = nil
-	m.paths = nil
+	clear(m.reach)
+	m.reach = m.reach[:0]
+	clear(m.dist)
+	for k, e := range m.enums {
+		m.freeEnum(e)
+		delete(m.enums, k)
+	}
+}
+
+// reset prepares the memo for an arena graph's next generation: caches
+// are dropped as in invalidate, but every cached row is parked on a
+// freelist for the next generation's computations to reclaim (safe only
+// because Graph.Reset declares all outstanding views dead), and the
+// lifetime counters restart — the caller harvests them first.
+func (m *memo) reset() {
+	if m.topo != nil {
+		m.intFree = append(m.intFree, m.topo)
+	}
+	if m.idom != nil {
+		m.intFree = append(m.intFree, m.idom)
+	}
+	for k, d := range m.dist {
+		m.intFree = append(m.intFree, d)
+		delete(m.dist, k)
+	}
+	for i, r := range m.reach {
+		if r != nil {
+			m.bsFree = append(m.bsFree, r)
+			m.reach[i] = nil
+		}
+	}
+	m.reach = m.reach[:0]
+	m.topoSet, m.topo, m.topoErr = false, nil, nil
+	m.idomSet, m.idom, m.idomErr = false, nil, nil
+	for k, e := range m.enums {
+		m.freeEnum(e)
+		delete(m.enums, k)
+	}
+	m.stats = metrics.CacheStats{}
+	m.maint = metrics.MaintStats{}
+}
+
+// freeEnum parks a dead path enumeration for reuse; memo.mu must be
+// held. The materialized paths and the slice-of-paths backing escaped to
+// callers (PathsBetween returns e.paths sub-slices, NthPath returns its
+// elements) and are left to the garbage collector; the generator arena,
+// the length table, and the entry struct itself are private to the
+// package and recycled. Safe because mutations — the only droppers —
+// run on the scheduling goroutine, never concurrently with readers.
+func (m *memo) freeEnum(e *pathEnum) {
+	e.g = nil
+	e.paths = nil
+	e.lens = e.lens[:0]
+	e.started, e.done = false, false
+	m.enumFree = append(m.enumFree, e)
+}
+
+// grabInts returns a length-n []int recycled from the freelist when
+// possible (contents undefined); memo.mu must be held. Fresh rows carry
+// slack beyond n: the graph gains one node per inserted barrier, so an
+// exact-size row harvested from generation g would be too small for every
+// generation after g and the freelist would never hit.
+func (m *memo) grabInts(n int) []int {
+	for len(m.intFree) > 0 {
+		d := m.intFree[len(m.intFree)-1]
+		m.intFree = m.intFree[:len(m.intFree)-1]
+		if cap(d) >= n {
+			return d[:n]
+		}
+	}
+	return make([]int, n, n+rowSlack)
+}
+
+// rowSlack is the extra capacity grabInts and grabBitset leave on fresh
+// rows so they keep serving as the graph grows.
+const rowSlack = 64
+
+// grabBitset returns a zeroed bitset able to hold nodes [0, n), recycled
+// from the freelist when possible; memo.mu must be held. Fresh bitsets
+// carry word slack for the same reason grabInts does.
+func (m *memo) grabBitset(n int) bitset {
+	words := (n + 63) >> 6
+	for len(m.bsFree) > 0 {
+		b := m.bsFree[len(m.bsFree)-1]
+		m.bsFree = m.bsFree[:len(m.bsFree)-1]
+		if cap(b) >= words {
+			b = b[:words]
+			clear(b)
+			return b
+		}
+	}
+	return make(bitset, words, words+rowSlack/64+1)
 }
 
 // CacheStats returns the accumulated hit/miss counters of the graph's
-// memoized path queries (Topo, Dominators, LongestFrom, HasPath,
-// PathsBetween).
+// memoized path queries (Topo, Dominators, LongestFrom, HasPath, and the
+// per-pair path enumerations behind PathsBetween/NthPath).
 func (g *Graph) CacheStats() metrics.CacheStats {
 	g.memo.mu.Lock()
 	defer g.memo.mu.Unlock()
@@ -116,15 +231,15 @@ func (g *Graph) idomLocked() ([]int, error) {
 	return m.idom, m.idomErr
 }
 
-// reachLocked returns the cached reachability set of u (reach[v] reports
-// whether v is reachable from u, with reach[u] true); memo.mu must be
-// held.
-func (g *Graph) reachLocked(u int) []bool {
+// reachLocked returns the cached reachability set of u (reach.test(v)
+// reports whether v is reachable from u, with u itself included);
+// memo.mu must be held.
+func (g *Graph) reachLocked(u int) bitset {
 	m := &g.memo
-	if m.reach == nil {
-		m.reach = make(map[int][]bool, g.Len())
+	for len(m.reach) < g.Len() {
+		m.reach = append(m.reach, nil)
 	}
-	if r, ok := m.reach[u]; ok {
+	if r := m.reach[u]; r != nil {
 		m.stats.Hits++
 		return r
 	}
@@ -132,6 +247,15 @@ func (g *Graph) reachLocked(u int) []bool {
 	r := g.computeReach(u)
 	m.reach[u] = r
 	return r
+}
+
+// reachRow returns the cached reachability row of u without computing it
+// (nil when absent); memo.mu must be held.
+func (m *memo) reachRow(u int) bitset {
+	if u < len(m.reach) {
+		return m.reach[u]
+	}
+	return nil
 }
 
 // distLocked returns the cached LongestFrom vector; memo.mu must be held.
@@ -157,20 +281,30 @@ func (g *Graph) distLocked(src int, useMax bool) ([]int, error) {
 	return d, nil
 }
 
-// pathsLocked returns the cached PathsBetween list; memo.mu must be held
-// and limit already normalized.
-func (g *Graph) pathsLocked(u, v, limit int) []Path {
+// enumFor returns the lazy path enumeration for (u, v), creating it if
+// absent. memo.mu is held only for the table lookup; the enumeration's
+// own lock serializes generation per key, so concurrent queries on
+// different pairs proceed in parallel.
+func (g *Graph) enumFor(u, v int) *pathEnum {
 	m := &g.memo
-	key := pathKey{u, v, limit}
-	if m.paths == nil {
-		m.paths = make(map[pathKey][]Path)
+	m.mu.Lock()
+	if m.enums == nil {
+		m.enums = make(map[pathKey]*pathEnum)
 	}
-	if p, ok := m.paths[key]; ok {
+	e, ok := m.enums[pathKey{u, v}]
+	if !ok {
+		if n := len(m.enumFree); n > 0 {
+			e = m.enumFree[n-1]
+			m.enumFree = m.enumFree[:n-1]
+		} else {
+			e = &pathEnum{}
+		}
+		e.g, e.u, e.v = g, u, v
+		m.enums[pathKey{u, v}] = e
+		m.stats.Misses++
+	} else {
 		m.stats.Hits++
-		return p
 	}
-	m.stats.Misses++
-	p := g.computePathsBetween(u, v, limit)
-	m.paths[key] = p
-	return p
+	m.mu.Unlock()
+	return e
 }

@@ -206,7 +206,10 @@ func TestQuickForcedMinBounds(t *testing.T) {
 				continue
 			}
 			for _, path := range g.PathsBetween(Initial, v, 4) {
-				forced := path.edges()
+				forced := make(map[Edge]bool)
+				for _, e := range path.appendEdges(nil) {
+					forced[e] = true
+				}
 				got, err := g.LongestMinForced(Initial, v, forced)
 				if err != nil {
 					return false

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"testing"
+
+	"barriermimd/internal/dag"
+	"barriermimd/internal/ir"
+)
+
+// TestAllocsDeltaRange pins the per-placement timing query: after the
+// per-processor timeline state is warm, deltaRange is a prefix-sum
+// difference plus a binary search and must not allocate.
+func TestAllocsDeltaRange(t *testing.T) {
+	b := &ir.Block{}
+	b.Append(ir.Tuple{Op: ir.Load, Var: "a", Args: [2]int{ir.NoArg, ir.NoArg}}) // 0
+	b.Append(ir.Tuple{Op: ir.Load, Var: "b", Args: [2]int{ir.NoArg, ir.NoArg}}) // 1
+	b.Append(ir.Tuple{Op: ir.Add, Args: [2]int{0, 1}})                          // 2
+	b.Append(ir.Tuple{Op: ir.Add, Args: [2]int{2, 2}})                          // 3
+	g, err := dag.Build(b, ir.DefaultTimings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions(2)
+	s := &scheduler{
+		g:       g,
+		opts:    opts,
+		rng:     opts.newRNG(),
+		procs:   make([][]Item, 2),
+		assign:  []int{-1, -1, -1, -1},
+		nodeIdx: []int{-1, -1, -1, -1},
+		parts:   [][]int{{0, 1}},
+		nextBar: 1,
+		dirty:   true,
+	}
+	s.appendNode(0, 0)
+	s.appendNode(0, 1)
+	s.appendNode(1, 2)
+	s.appendNode(1, 3)
+
+	s.deltaRange(0, 2, true) // warm the lazily built procState
+	s.deltaRange(1, 2, false)
+	allocs := testing.AllocsPerRun(200, func() {
+		s.deltaRange(0, 2, true)
+		s.deltaRange(0, 1, false)
+		s.deltaRange(1, 2, true)
+	})
+	if allocs != 0 {
+		t.Errorf("warm deltaRange allocates %.1f per run, want 0", allocs)
+	}
+}

@@ -20,15 +20,21 @@ func TestIncrementalSchedulerMatchesRebuildOracle(t *testing.T) {
 		machine   MachineKind
 		insertion Insertion
 		seed      int64
+		pathLimit int // 0 = option default; exercises the lazy enumerator cutoff
 	}{
-		{"sbm-conservative-small", 20, 4, 4, SBM, Conservative, 1},
-		{"sbm-conservative-wide", 45, 6, 8, SBM, Conservative, 2},
-		{"sbm-optimal", 40, 5, 8, SBM, Optimal, 3},
-		{"dbm-conservative", 40, 5, 8, DBM, Conservative, 4},
-		{"dbm-optimal", 35, 4, 6, DBM, Optimal, 5},
-		{"sbm-naive", 30, 4, 4, SBM, Naive, 6},
-		{"sbm-dense-vars", 60, 3, 8, SBM, Conservative, 7},
-		{"dbm-two-procs", 50, 6, 2, DBM, Conservative, 8},
+		{"sbm-conservative-small", 20, 4, 4, SBM, Conservative, 1, 0},
+		{"sbm-conservative-wide", 45, 6, 8, SBM, Conservative, 2, 0},
+		{"sbm-optimal", 40, 5, 8, SBM, Optimal, 3, 0},
+		{"dbm-conservative", 40, 5, 8, DBM, Conservative, 4, 0},
+		{"dbm-optimal", 35, 4, 6, DBM, Optimal, 5, 0},
+		{"sbm-naive", 30, 4, 4, SBM, Naive, 6, 0},
+		{"sbm-dense-vars", 60, 3, 8, SBM, Conservative, 7, 0},
+		{"dbm-two-procs", 50, 6, 2, DBM, Conservative, 8, 0},
+		// Explicit path limits: the lazy generator must agree with the
+		// rebuild oracle whether it stops after one path or runs deep.
+		{"sbm-optimal-k1", 40, 5, 8, SBM, Optimal, 9, 1},
+		{"sbm-optimal-k2", 45, 4, 6, SBM, Optimal, 10, 2},
+		{"dbm-optimal-k128", 55, 5, 8, DBM, Optimal, 11, 128},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -38,6 +44,9 @@ func TestIncrementalSchedulerMatchesRebuildOracle(t *testing.T) {
 			opts.Machine = tc.machine
 			opts.Insertion = tc.insertion
 			opts.Seed = tc.seed
+			if tc.pathLimit != 0 {
+				opts.PathLimit = tc.pathLimit
+			}
 
 			inc := opts
 			inc.SelfCheck = true

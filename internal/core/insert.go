@@ -3,7 +3,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"time"
 
 	"barriermimd/internal/bdag"
@@ -153,23 +152,28 @@ func (s *scheduler) checkPair(g, i int) (checkOutcome, pairTiming, error) {
 }
 
 // optimalCheck implements the path-overlap refinement of section 4.4.2.
+// Paths are pulled one at a time from the lazy ψ^j_max ranking: the
+// typical pair converges after one or two paths (either the longest path
+// already clears the plain minimum bound, or its overlap check fails),
+// so the enumeration cost is proportional to paths inspected, not to the
+// limit.
 func (s *scheduler) optimalCheck(pt pairTiming, dMaxG, dMinI int) (bool, error) {
 	limit := s.opts.PathLimit
 	if limit <= 0 {
 		limit = 64
 	}
 	plainMin := pt.tMinI // l(ψ_min(u,w)) + δ_min(i⁻)
-	for _, path := range s.bg.PathsBetween(pt.cd, pt.lg, limit) {
-		lj := s.bg.MaxLen(path) + dMaxG
+	for j := 0; j < limit; j++ {
+		path, plen, ok := s.bg.NthPath(pt.cd, pt.lg, j)
+		if !ok {
+			break
+		}
+		lj := plen + dMaxG
 		if lj <= plainMin {
 			// All remaining (shorter) paths are satisfied outright.
 			return true, nil
 		}
-		forced := make(map[bdag.Edge]bool, len(path))
-		for k := 0; k+1 < len(path); k++ {
-			forced[bdag.Edge{From: path[k], To: path[k+1]}] = true
-		}
-		starMin, err := s.bg.LongestMinForced(pt.cd, pt.li, forced)
+		starMin, err := s.bg.LongestMinForcedPath(pt.cd, pt.li, path, &s.sc.psc)
 		if err != nil {
 			return false, err
 		}
@@ -209,44 +213,60 @@ func (s *scheduler) commonDom(a, b int) (int, error) {
 	return a, nil
 }
 
-// snapshot captures the mutable schedule state so a tentative mutation can
-// be rolled back.
+// snapshot captures the mutable schedule state so a tentative mutation
+// can be rolled back. It is a reusable arena (scratch.snap): timelines
+// and timeline states are deep-copied into retained buffers, while parts
+// is copied by header only — participant slices are immutable once set
+// (merges replace entries, never edit them), so sharing them with the
+// live table is safe.
 type snapshot struct {
 	procs   [][]Item
-	parts   map[int][]int
+	parts   [][]int
 	nodeIdx []int
 	ps      []procState
 	nextBar int
 }
 
-func (s *scheduler) snapshot() snapshot {
-	sn := snapshot{
-		procs:   make([][]Item, len(s.procs)),
-		parts:   make(map[int][]int, len(s.parts)),
-		nodeIdx: append([]int(nil), s.nodeIdx...),
-		ps:      make([]procState, len(s.ps)),
-		nextBar: s.nextBar,
+// saveSnapshot captures the current state into the arena. Only one
+// snapshot is live at a time (mergePass takes one per candidate merge and
+// resolves it before the next).
+func (s *scheduler) saveSnapshot() {
+	if len(s.procs) > 0 {
+		s.state(0) // make ps cover every processor before mirroring it
+	}
+	sn := &s.sc.snap
+	for len(sn.procs) < len(s.procs) {
+		sn.procs = append(sn.procs, nil)
 	}
 	for p := range s.procs {
-		sn.procs[p] = append([]Item(nil), s.procs[p]...)
+		sn.procs[p] = append(sn.procs[p][:0], s.procs[p]...)
 	}
-	for id, ps := range s.parts {
-		sn.parts[id] = append([]int(nil), ps...)
+	sn.parts = append(sn.parts[:0], s.parts...)
+	sn.nodeIdx = append(sn.nodeIdx[:0], s.nodeIdx...)
+	for len(sn.ps) < len(s.ps) {
+		sn.ps = append(sn.ps, procState{})
 	}
 	for p := range s.ps {
-		sn.ps[p] = s.ps[p].clone()
+		sn.ps[p].copyFrom(&s.ps[p])
 	}
-	return sn
+	sn.nextBar = s.nextBar
 }
 
-// restore rolls the schedule back to sn. The barrier dag may have been
-// patched since the snapshot, so it is marked dirty and rebuilt from the
-// restored timelines on the next ensureGraph.
-func (s *scheduler) restore(sn snapshot) {
-	s.procs = sn.procs
-	s.parts = sn.parts
-	s.nodeIdx = sn.nodeIdx
-	s.ps = sn.ps
+// restoreSnapshot rolls the schedule back to the state saveSnapshot
+// captured, copying the arena's contents back into the scheduler's own
+// buffers. The barrier dag may have been patched since the snapshot, so
+// it is marked dirty and rebuilt from the restored timelines on the next
+// ensureGraph.
+func (s *scheduler) restoreSnapshot() {
+	sn := &s.sc.snap
+	for p := range s.procs {
+		s.procs[p] = append(s.procs[p][:0], sn.procs[p]...)
+	}
+	s.parts = append(s.parts[:0], sn.parts...)
+	s.nodeIdx = append(s.nodeIdx[:0], sn.nodeIdx...)
+	for p := range s.ps {
+		s.ps[p].copyFrom(&sn.ps[p])
+	}
 	s.nextBar = sn.nextBar
 	s.dirty = true
 }
@@ -337,9 +357,9 @@ func (s *scheduler) insertBarrierDepth(g, i int, pt pairTiming, depth int) error
 		ci := s.nodeIdx[i]
 		id := s.nextBar
 		s.nextBar++
-		s.parts[id] = []int{min(P, C), max(P, C)}
+		s.parts = append(s.parts, []int{min(P, C), max(P, C)})
 		undoID := func() {
-			delete(s.parts, id)
+			s.parts = s.parts[:id]
 			s.nextBar--
 		}
 		if err := s.applyBarrier(id, P, pos, C, ci); err != nil {
@@ -406,9 +426,9 @@ func (s *scheduler) findInvertedPendingUnder(g, i, pos int) (pairRec, bool, erro
 	ci := s.nodeIdx[i]
 	id := s.nextBar
 	s.nextBar++
-	s.parts[id] = []int{min(P, C), max(P, C)}
+	s.parts = append(s.parts, []int{min(P, C), max(P, C)})
 	undoID := func() {
-		delete(s.parts, id)
+		s.parts = s.parts[:id]
 		s.nextBar--
 	}
 	if err := s.applyBarrier(id, P, pos, C, ci); err != nil {
@@ -528,9 +548,15 @@ func (s *scheduler) applyBarrier(id, P, posP, C, posC int) error {
 	s.insertItemAt(C, posC, Item{Barrier: id, IsBarrier: true})
 	// New barrier ids are monotonic and merges always rebuild, so the
 	// appended node index equals the index a from-scratch rebuild would
-	// assign — bnode stays aligned with buildBarrierGraph (auditState
-	// checks exactly this).
-	s.bnode[id] = s.bg.InsertBarrier(s.parts[id], splits)
+	// assign — bnode stays aligned with buildBarrierGraphDense (auditState
+	// checks exactly this). A failed apply can leave a stale tail entry
+	// behind (the dag goes dirty and bnode is rebuilt wholesale), hence
+	// the overwrite case.
+	if id < len(s.bnode) {
+		s.bnode[id] = s.bg.InsertBarrier(s.parts[id], splits)
+	} else {
+		s.bnode = append(s.bnode, s.bg.InsertBarrier(s.parts[id], splits))
+	}
 	idom, err := s.bg.Dominators()
 	if err != nil {
 		s.unapplyBarrier(P, posP, C, posC)
@@ -562,22 +588,34 @@ func (s *scheduler) unapplyBarrier(P, posP, C, posC int) {
 func (s *scheduler) mergePass() error {
 	start := time.Now()
 	defer func() { s.clock.Observe("merge", time.Since(start)) }()
-	rejected := make(map[[2]int]bool)
+	if s.sc.rejected == nil {
+		s.sc.rejected = make(map[[2]int]bool)
+	} else {
+		clear(s.sc.rejected)
+	}
+	rejected := s.sc.rejected
 	for {
 		if err := s.ensureGraph(); err != nil {
 			return err
 		}
-		fmin, fmax, err := s.bg.FireWindows()
+		fmin0, fmax0, err := s.bg.FireWindows()
 		if err != nil {
 			return err
 		}
-		ids := make([]int, 0, len(s.parts))
-		for id := range s.parts {
-			if id != InitialBarrier {
+		// Copy the windows out of the memo: a rejected merge mid-scan
+		// rebuilds into the spare buffer, which may be the very graph
+		// these slices belong to.
+		fmin := append(s.sc.fmin[:0], fmin0...)
+		fmax := append(s.sc.fmax[:0], fmax0...)
+		s.sc.fmin, s.sc.fmax = fmin, fmax
+		// Live ids in ascending order, straight off the dense table.
+		ids := s.sc.ids[:0]
+		for id, ps := range s.parts {
+			if id != InitialBarrier && ps != nil {
 				ids = append(ids, id)
 			}
 		}
-		sort.Ints(ids)
+		s.sc.ids = ids
 		merged := false
 		for x := 0; x < len(ids) && !merged; x++ {
 			for y := x + 1; y < len(ids) && !merged; y++ {
@@ -585,17 +623,17 @@ func (s *scheduler) mergePass() error {
 				if rejected[[2]int{a, b}] {
 					continue
 				}
-				na, nb := s.bnode[a], s.bnode[b]
+				na, nb := s.bnodeAt(a), s.bnodeAt(b)
 				if fmin[na] > fmax[nb] || fmin[nb] > fmax[na] {
 					continue // windows disjoint
 				}
 				if s.bg.Ordered(na, nb) {
 					continue
 				}
-				sn := s.snapshot()
+				s.saveSnapshot()
 				s.merge(a, b)
 				if err := s.ensureGraph(); err != nil {
-					s.restore(sn)
+					s.restoreSnapshot()
 					s.mx.MergedBarriers--
 					rejected[[2]int{a, b}] = true
 					continue
@@ -603,7 +641,7 @@ func (s *scheduler) mergePass() error {
 				if _, found, err := s.findInvertedPending(); err != nil {
 					return err
 				} else if found {
-					s.restore(sn)
+					s.restoreSnapshot()
 					s.mx.MergedBarriers--
 					rejected[[2]int{a, b}] = true
 					continue
@@ -617,25 +655,48 @@ func (s *scheduler) mergePass() error {
 	}
 }
 
+// bnodeAt reads the barrier-id → dag-node table, treating missing and
+// dead entries as the initial barrier. After a rejected merge the table
+// still describes the rolled-back rebuild (restoreSnapshot only marks the
+// graph dirty, exactly as the map-based scheduler did), so the scan can
+// ask about an id the stale table no longer carries; the old map returned
+// its zero value for those reads and the pass's candidate order is
+// calibrated against that.
+func (s *scheduler) bnodeAt(id int) int {
+	if id < len(s.bnode) && s.bnode[id] >= 0 {
+		return s.bnode[id]
+	}
+	return bdag.Initial
+}
+
 // merge folds barrier b into barrier a: participants are unioned and every
 // wait on b becomes a wait on a. Unordered barriers never share a
 // processor (a shared processor's timeline would order them), so no
-// timeline can end up waiting twice.
+// timeline can end up waiting twice. The union is a fresh slice — the
+// snapshot arena's header-copied parts table depends on participant
+// slices never being edited in place.
 func (s *scheduler) merge(a, b int) {
-	set := make(map[int]bool)
-	for _, p := range s.parts[a] {
-		set[p] = true
+	pa, pb := s.parts[a], s.parts[b]
+	union := make([]int, 0, len(pa)+len(pb))
+	i, j := 0, 0
+	for i < len(pa) && j < len(pb) {
+		switch {
+		case pa[i] < pb[j]:
+			union = append(union, pa[i])
+			i++
+		case pa[i] > pb[j]:
+			union = append(union, pb[j])
+			j++
+		default:
+			union = append(union, pa[i])
+			i++
+			j++
+		}
 	}
-	for _, p := range s.parts[b] {
-		set[p] = true
-	}
-	union := make([]int, 0, len(set))
-	for p := range set {
-		union = append(union, p)
-	}
-	sort.Ints(union)
+	union = append(union, pa[i:]...)
+	union = append(union, pb[j:]...)
 	s.parts[a] = union
-	delete(s.parts, b)
+	s.parts[b] = nil
 	for p := range s.procs {
 		for k := range s.procs[p] {
 			if s.procs[p][k].IsBarrier && s.procs[p][k].Barrier == b {
@@ -660,9 +721,13 @@ func (s *scheduler) verifyRepair() error {
 		// Iterate over a private copy: insertBarrier below may recursively
 		// force-protect (and remove) other pending pairs, mutating
 		// s.timingPairs in place — an aliased view would be corrupted by
-		// that left-shift.
-		pending := append([]pairRec(nil), s.timingPairs...)
-		var remaining []pairRec
+		// that left-shift. The copy lives in a reused scratch buffer;
+		// remaining rewrites s.timingPairs' own backing in place, which is
+		// safe because nothing reads s.timingPairs until it is reassigned
+		// below (checkPair never touches the pending list).
+		pending := append(s.sc.pending[:0], s.timingPairs...)
+		s.sc.pending = pending
+		remaining := s.timingPairs[:0]
 		for k, pr := range pending {
 			outcome, pt, err := s.checkPair(pr.g, pr.i)
 			if err != nil {

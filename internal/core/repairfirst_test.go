@@ -40,7 +40,7 @@ func TestRepairFirstPath(t *testing.T) {
 		procs:   make([][]Item, 2),
 		assign:  []int{-1, -1, -1, -1},
 		nodeIdx: []int{-1, -1, -1, -1},
-		parts:   map[int][]int{InitialBarrier: {0, 1}},
+		parts:   [][]int{{0, 1}},
 		nextBar: 1,
 		dirty:   true,
 	}

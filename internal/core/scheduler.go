@@ -19,21 +19,8 @@ func ScheduleDAG(g *dag.Graph, opts Options) (*Schedule, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	s := &scheduler{
-		g:       g,
-		opts:    opts,
-		rng:     opts.newRNG(),
-		procs:   make([][]Item, opts.Processors),
-		assign:  make([]int, g.N),
-		nodeIdx: make([]int, g.N),
-		parts:   map[int][]int{InitialBarrier: allProcs(opts.Processors)},
-		nextBar: 1,
-		dirty:   true,
-	}
-	for i := range s.assign {
-		s.assign[i] = -1
-		s.nodeIdx[i] = -1
-	}
+	s := newScheduler(g, opts)
+	defer s.release()
 
 	start := time.Now()
 	order, err := s.listOrder()
@@ -70,10 +57,20 @@ type scheduler struct {
 	rng  *rand.Rand
 
 	procs   [][]Item
-	assign  []int // node -> processor (-1 = unplaced)
-	nodeIdx []int // node -> index in its processor timeline
-	parts   map[int][]int
+	assign  []int   // node -> processor (-1 = unplaced)
+	nodeIdx []int   // node -> index in its processor timeline
+	parts   [][]int // barrier id -> participants (nil = merged away)
 	nextBar int
+
+	// partsInit backs parts[InitialBarrier] (the all-processors list);
+	// participant lists are immutable once set, so the pooled buffer is
+	// safe to share across runs — finish copies it into the Schedule.
+	partsInit []int
+
+	// sc is the reusable working-buffer arena; see scratch.go. parts
+	// values are immutable once set (merges replace, never edit), which
+	// is what lets the snapshot arena copy parts by header.
+	sc scratch
 
 	// ps mirrors procs with per-processor prefix sums and barrier
 	// positions (see timeline.go), maintained in lockstep so timeline
@@ -82,11 +79,17 @@ type scheduler struct {
 
 	// Derived barrier-dag state. Barrier insertions patch it in place
 	// (insert.go applyBarrier); merges and rollbacks set dirty and the
-	// next ensureGraph rebuilds from the timelines.
-	dirty bool
-	bg    *bdag.Graph
-	bnode map[int]int // schedule barrier id -> bdag node index
-	idom  []int
+	// next ensureGraph rebuilds from the timelines. Rebuilds
+	// double-buffer: the outgoing graph becomes the spare, and the next
+	// rebuild resets and reuses the spare's storage instead of
+	// allocating a fresh graph (see ensureGraph). The spare is one
+	// generation stale and never queried.
+	dirty      bool
+	bg         *bdag.Graph
+	bnode      []int // schedule barrier id -> bdag node index (-1 = dead)
+	idom       []int
+	bgSpare    *bdag.Graph
+	bnodeSpare []int
 
 	timingPairs []pairRec
 	mx          Metrics
@@ -109,13 +112,7 @@ func (s *scheduler) listOrder() ([]int, error) {
 	for i := range nodes {
 		nodes[i] = i
 	}
-	sort.SliceStable(nodes, func(a, b int) bool {
-		na, nb := nodes[a], nodes[b]
-		if key1[na] != key1[nb] {
-			return key1[na] > key1[nb]
-		}
-		return key2[na] > key2[nb]
-	})
+	sort.Stable(byHeight{nodes, key1, key2})
 	// Shuffle runs of full ties with the seeded RNG ("choose one at
 	// random" — section 4.3); the result stays a valid priority order.
 	for lo := 0; lo < len(nodes); {
@@ -133,6 +130,25 @@ func (s *scheduler) listOrder() ([]int, error) {
 	return nodes, nil
 }
 
+// byHeight sorts the scheduling list by descending primary then secondary
+// height. A concrete sort.Interface (instead of sort.SliceStable's
+// closure) keeps listOrder off the allocator; stable sorting makes the
+// result unique, so the two are interchangeable output-wise.
+type byHeight struct {
+	nodes      []int
+	key1, key2 []int
+}
+
+func (o byHeight) Len() int      { return len(o.nodes) }
+func (o byHeight) Swap(a, b int) { o.nodes[a], o.nodes[b] = o.nodes[b], o.nodes[a] }
+func (o byHeight) Less(a, b int) bool {
+	na, nb := o.nodes[a], o.nodes[b]
+	if o.key1[na] != o.key1[nb] {
+		return o.key1[na] > o.key1[nb]
+	}
+	return o.key2[na] > o.key2[nb]
+}
+
 // realPreds returns i's non-dummy DAG predecessors (precomputed at DAG
 // build time; shared, read-only).
 func (s *scheduler) realPreds(i int) []int {
@@ -140,11 +156,18 @@ func (s *scheduler) realPreds(i int) []int {
 }
 
 // state returns processor p's timeline state, growing the table lazily so
-// hand-constructed schedulers (tests) work without extra setup.
+// hand-constructed schedulers (tests) work without extra setup. Entries
+// parked beyond len by a pooled scheduler are rebuilt in place, reusing
+// their prefix-sum buffers.
 func (s *scheduler) state(p int) *procState {
 	for len(s.ps) < len(s.procs) {
 		q := len(s.ps)
-		s.ps = append(s.ps, buildProcState(s.procs[q], s.g.Time))
+		if q < cap(s.ps) {
+			s.ps = s.ps[:q+1]
+			s.ps[q].rebuildFrom(s.procs[q], s.g.Time)
+		} else {
+			s.ps = append(s.ps, buildProcState(s.procs[q], s.g.Time))
+		}
 	}
 	return &s.ps[p]
 }
@@ -190,8 +213,8 @@ func (s *scheduler) place(k, n int, order []int) error {
 func (s *scheduler) chooseProcessor(k, n int, order []int) (int, error) {
 	// Step [1]: serialization onto a producer processor whose last
 	// instruction is a predecessor of n.
-	var eligible []int
-	seen := make(map[int]bool)
+	eligible := s.sc.eligible[:0]
+	seen := s.sc.seenProc
 	for _, g := range s.realPreds(n) {
 		p := s.assign[g]
 		if p < 0 || seen[p] {
@@ -202,25 +225,29 @@ func (s *scheduler) chooseProcessor(k, n int, order []int) (int, error) {
 			eligible = append(eligible, p)
 		}
 	}
+	s.sc.eligible = eligible
+	for i := range seen {
+		seen[i] = false
+	}
 	if len(eligible) == 1 {
 		return eligible[0], nil
 	}
 	if len(eligible) > 1 {
 		// Largest current maximum time (to possibly avoid a barrier);
 		// full ties broken at random.
-		return s.pickByEndTime(eligible, func(a, b int) bool { return a > b })
+		return s.pickByEndTime(eligible, pickLatest)
 	}
 
 	// Step [2]: earliest possible start; ties at random. Under the
 	// lookahead ablation, avoid processors whose last instruction feeds a
 	// node inside the lookahead window (it may want to serialize there).
-	candidates := allProcs(s.opts.Processors)
+	candidates := s.sc.allProcs
 	if s.opts.Lookahead > 0 {
 		if filtered := s.lookaheadFilter(k, n, order, candidates); len(filtered) > 0 {
 			candidates = filtered
 		}
 	}
-	return s.pickByEndTime(candidates, func(a, b int) bool { return a < b })
+	return s.pickByEndTime(candidates, pickEarliest)
 }
 
 // isPred reports whether g is a direct DAG predecessor of n.
@@ -239,7 +266,7 @@ func (s *scheduler) lookaheadFilter(k, n int, order, candidates []int) []int {
 	if windowEnd > len(order) {
 		windowEnd = len(order)
 	}
-	var out []int
+	out := s.sc.filtered[:0]
 	for _, p := range candidates {
 		li := s.lastInstr(p)
 		blocked := false
@@ -255,13 +282,32 @@ func (s *scheduler) lookaheadFilter(k, n int, order, candidates []int) []int {
 			out = append(out, p)
 		}
 	}
+	s.sc.filtered = out
 	return out
 }
 
+// endTimeRule selects the comparison direction of pickByEndTime: latest
+// end first for serialization candidates, earliest start first for free
+// assignment. A flag instead of a closure keeps the hot loop off the
+// allocator.
+type endTimeRule bool
+
+const (
+	pickLatest   endTimeRule = true
+	pickEarliest endTimeRule = false
+)
+
+func (r endTimeRule) better(a, b int) bool {
+	if r == pickLatest {
+		return a > b
+	}
+	return a < b
+}
+
 // pickByEndTime selects among candidate processors by their current
-// maximum end time (then minimum end time), using better(a,b) to compare;
-// full ties are broken with the seeded RNG.
-func (s *scheduler) pickByEndTime(candidates []int, better func(a, b int) bool) (int, error) {
+// maximum end time (then minimum end time), compared per rule; full ties
+// are broken with the seeded RNG.
+func (s *scheduler) pickByEndTime(candidates []int, rule endTimeRule) (int, error) {
 	if err := s.ensureGraph(); err != nil {
 		return 0, err
 	}
@@ -269,28 +315,23 @@ func (s *scheduler) pickByEndTime(candidates []int, better func(a, b int) bool) 
 	if err != nil {
 		return 0, err
 	}
-	endMax := func(p int) int {
-		lb, _ := s.lastBarBefore(p, len(s.procs[p]))
-		return fmax[s.bnode[lb]] + s.deltaRange(p, len(s.procs[p]), true)
-	}
-	endMin := func(p int) int {
-		lb, _ := s.lastBarBefore(p, len(s.procs[p]))
-		return fmin[s.bnode[lb]] + s.deltaRange(p, len(s.procs[p]), false)
-	}
-	var ties []int
+	ties := s.sc.ties[:0]
 	bestMax, bestMin := 0, 0
 	for _, p := range candidates {
-		em, en := endMax(p), endMin(p)
+		lb, _ := s.lastBarBefore(p, len(s.procs[p]))
+		em := fmax[s.bnode[lb]] + s.deltaRange(p, len(s.procs[p]), true)
+		en := fmin[s.bnode[lb]] + s.deltaRange(p, len(s.procs[p]), false)
 		switch {
 		case len(ties) == 0 ||
-			better(em, bestMax) ||
-			(em == bestMax && better(en, bestMin)):
-			ties = []int{p}
+			rule.better(em, bestMax) ||
+			(em == bestMax && rule.better(en, bestMin)):
+			ties = append(ties[:0], p)
 			bestMax, bestMin = em, en
 		case em == bestMax && en == bestMin:
 			ties = append(ties, p)
 		}
 	}
+	s.sc.ties = ties
 	return ties[s.rng.Intn(len(ties))], nil
 }
 
@@ -310,25 +351,39 @@ func (s *scheduler) appendNode(p, n int) {
 	s.nodeIdx[n] = len(s.procs[p]) - 1
 }
 
-// buildBarrierGraph derives the barrier dag from per-processor timelines
-// and the barrier participant table: one node per live barrier, and one
-// region edge per consecutive barrier pair on a processor, with the
-// Figure 13 aggregation rule applied by bdag.AddRegion. Both the scheduler
-// and the independent Schedule.VerifyStatic auditor build their dag this
-// way, so they can never disagree about structure.
-func buildBarrierGraph(procs [][]Item, parts map[int][]int, times []ir.Timing) (*bdag.Graph, map[int]int, error) {
-	ids := make([]int, 0, len(parts))
-	for id := range parts {
-		ids = append(ids, id)
+// buildBarrierGraphDense derives the barrier dag from per-processor
+// timelines and the dense barrier participant table (nil entries are
+// merged-away barriers): one node per live barrier, and one region edge
+// per consecutive barrier pair on a processor, with the Figure 13
+// aggregation rule applied by bdag.AddRegion. Nodes are assigned in
+// ascending barrier-id order — the same order the sorted-map builder
+// always used, so patched graphs and rebuilds stay aligned. Both the
+// scheduler and the independent Schedule.VerifyStatic auditor build
+// their dag this way, so they can never disagree about structure.
+func buildBarrierGraphDense(procs [][]Item, parts [][]int, times []ir.Timing) (*bdag.Graph, []int, error) {
+	return rebuildBarrierGraphDense(nil, nil, procs, parts, times)
+}
+
+// rebuildBarrierGraphDense is buildBarrierGraphDense with arena reuse:
+// a non-nil arena graph is Reset and rebuilt in place (the caller must
+// have harvested its counters and hold no views into it), and bbuf backs
+// the returned id table.
+func rebuildBarrierGraphDense(arena *bdag.Graph, bbuf []int, procs [][]Item, parts [][]int, times []ir.Timing) (*bdag.Graph, []int, error) {
+	bg := arena
+	if bg != nil {
+		bg.Reset(parts[InitialBarrier])
+	} else {
+		bg = bdag.New(parts[InitialBarrier])
 	}
-	sort.Ints(ids)
-	bg := bdag.New(parts[InitialBarrier])
-	bnode := map[int]int{InitialBarrier: bdag.Initial}
-	for _, id := range ids {
-		if id == InitialBarrier {
-			continue
+	bnode := bbuf[:0]
+	for range parts {
+		bnode = append(bnode, -1)
+	}
+	bnode[InitialBarrier] = bdag.Initial
+	for id := InitialBarrier + 1; id < len(parts); id++ {
+		if parts[id] != nil {
+			bnode[id] = bg.AddBarrier(parts[id])
 		}
-		bnode[id] = bg.AddBarrier(parts[id])
 	}
 	for p := range procs {
 		prev := bdag.Initial
@@ -340,12 +395,38 @@ func buildBarrierGraph(procs [][]Item, parts map[int][]int, times []ir.Timing) (
 				acc.Max += t.Max
 				continue
 			}
-			bn, ok := bnode[it.Barrier]
-			if !ok {
+			if it.Barrier >= len(bnode) || bnode[it.Barrier] < 0 {
 				return nil, nil, fmt.Errorf("core: timeline references dead barrier %d", it.Barrier)
 			}
+			bn := bnode[it.Barrier]
 			bg.AddRegion(prev, bn, acc)
 			prev, acc = bn, ir.Timing{}
+		}
+	}
+	return bg, bnode, nil
+}
+
+// buildBarrierGraph is buildBarrierGraphDense for a map participant table
+// (the public Schedule.Participants shape used by VerifyStatic).
+func buildBarrierGraph(procs [][]Item, parts map[int][]int, times []ir.Timing) (*bdag.Graph, map[int]int, error) {
+	maxID := 0
+	for id := range parts {
+		if id > maxID {
+			maxID = id
+		}
+	}
+	dense := make([][]int, maxID+1)
+	for id, ps := range parts {
+		dense[id] = ps
+	}
+	bg, dn, err := buildBarrierGraphDense(procs, dense, times)
+	if err != nil {
+		return nil, nil, err
+	}
+	bnode := make(map[int]int, len(parts))
+	for id, n := range dn {
+		if n >= 0 {
+			bnode[id] = n
 		}
 	}
 	return bg, bnode, nil
@@ -360,19 +441,25 @@ func (s *scheduler) ensureGraph() error {
 		return nil
 	}
 	s.mx.Maint.Rebuilds++
-	if s.bg != nil {
-		// The outgoing graph's counters would be lost with it.
-		s.mx.PathCache.Add(s.bg.CacheStats())
-		s.mx.Maint.Add(s.bg.MaintStats())
+	if s.bgSpare != nil {
+		// The spare's generation dies with the Reset inside the rebuild;
+		// its counters would be lost with it. (Reset zeroes them, so a
+		// failed rebuild cannot double-count on the next attempt.)
+		s.mx.PathCache.Add(s.bgSpare.CacheStats())
+		s.mx.Maint.Add(s.bgSpare.MaintStats())
 	}
-	bg, bnode, err := buildBarrierGraph(s.procs, s.parts, s.g.Time)
+	bg, bnode, err := rebuildBarrierGraphDense(s.bgSpare, s.bnodeSpare[:0], s.procs, s.parts, s.g.Time)
 	if err != nil {
 		return err
 	}
 	idom, err := bg.Dominators()
 	if err != nil {
+		// s.bg stays the pre-rebuild graph, exactly as when rebuilds
+		// allocated fresh: the failed generation lives only in the
+		// spare, which the next attempt resets again.
 		return fmt.Errorf("core: barrier dag is cyclic: %w", err)
 	}
+	s.bgSpare, s.bnodeSpare = s.bg, s.bnode
 	s.bg, s.bnode, s.idom = bg, bnode, idom
 	s.dirty = false
 	return nil
@@ -428,19 +515,22 @@ func (s *scheduler) reindexFrom(p, from int) {
 // finish freezes the scheduler state into a Schedule and computes metrics.
 func (s *scheduler) finish() (*Schedule, error) {
 	start := time.Now()
-	defer func() { s.clock.Observe("finalize", time.Since(start)) }()
 	if err := s.ensureGraph(); err != nil {
 		return nil, err
 	}
 	// Final-generation cache counters plus everything accumulated across
 	// rebuilds. The graph outlives the run inside the Schedule, so its
 	// own counters keep advancing as the schedule is queried; the
-	// snapshot here covers scheduling only.
+	// snapshot here covers scheduling only. The spare buffer still holds
+	// the second-to-last generation's counters (they are only harvested
+	// when a rebuild reuses the buffer).
 	s.mx.PathCache.Add(s.bg.CacheStats())
 	s.mx.Maint.Add(s.bg.MaintStats())
-	s.mx.Stages = &s.clock
+	if s.bgSpare != nil {
+		s.mx.PathCache.Add(s.bgSpare.CacheStats())
+		s.mx.Maint.Add(s.bgSpare.MaintStats())
+	}
 	s.mx.TotalImpliedSyncs = s.g.TotalImpliedSynchronizations()
-	s.mx.Barriers = len(s.parts) - 1
 	s.mx.SerializedSyncs = 0
 	for _, e := range s.g.RealEdges() {
 		if s.assign[e.From] == s.assign[e.To] {
@@ -448,9 +538,15 @@ func (s *scheduler) finish() (*Schedule, error) {
 		}
 	}
 	parts := make(map[int][]int, len(s.parts))
+	bnode := make(map[int]int, len(s.parts))
 	for id, ps := range s.parts {
+		if ps == nil {
+			continue
+		}
 		parts[id] = append([]int(nil), ps...)
+		bnode[id] = s.bnode[id]
 	}
+	s.mx.Barriers = len(parts) - 1
 	sched := &Schedule{
 		Graph:        s.g,
 		Opts:         s.opts,
@@ -458,11 +554,18 @@ func (s *scheduler) finish() (*Schedule, error) {
 		AssignTo:     s.assign,
 		Participants: parts,
 		Barriers:     s.bg,
-		BarrierNode:  s.bnode,
+		BarrierNode:  bnode,
 		Metrics:      s.mx,
 	}
 	if err := sched.Validate(); err != nil {
 		return nil, err
 	}
+	// The Schedule gets a copied clock header: it shares this run's
+	// accumulated stage map, but release detaches the scheduler from that
+	// backing, so a pooled reuse can never mutate it. The copy happens
+	// after the final Observe so "finalize" is already in the shared map.
+	s.clock.Observe("finalize", time.Since(start))
+	ck := s.clock
+	sched.Metrics.Stages = &ck
 	return sched, nil
 }

@@ -41,6 +41,27 @@ func (st *procState) clone() procState {
 	}
 }
 
+// copyFrom overwrites st with a deep copy of src, reusing st's buffers —
+// the allocation-free form of clone for the snapshot arena.
+func (st *procState) copyFrom(src *procState) {
+	st.prefMin = append(st.prefMin[:0], src.prefMin...)
+	st.prefMax = append(st.prefMax[:0], src.prefMax...)
+	st.barPos = append(st.barPos[:0], src.barPos...)
+	st.lastNode = src.lastNode
+}
+
+// rebuildFrom resets st to describe timeline tl, reusing st's buffers —
+// the allocation-free form of buildProcState for pooled state slots.
+func (st *procState) rebuildFrom(tl []Item, times []ir.Timing) {
+	st.prefMin = append(st.prefMin[:0], 0)
+	st.prefMax = append(st.prefMax[:0], 0)
+	st.barPos = st.barPos[:0]
+	st.lastNode = -1
+	for _, it := range tl {
+		st.appendItem(it, times)
+	}
+}
+
 // appendItem extends the prefix sums and barrier positions for an item
 // appended at the end of the timeline.
 func (st *procState) appendItem(it Item, times []ir.Timing) {

@@ -115,21 +115,24 @@ func (s *Schedule) VerifyStatic() error {
 	return nil
 }
 
-// verifyOptimalPair re-runs the section 4.4.2 overlap refinement.
+// verifyOptimalPair re-runs the section 4.4.2 overlap refinement, pulling
+// paths from the same lazy ψ^j_max ranking the scheduler consults so the
+// two can never disagree about path order.
 func verifyOptimalPair(barriers *bdag.Graph, limit, cd, lg, li, dMaxG, dMinI, plainMin int) (bool, error) {
 	if limit <= 0 {
 		limit = 64
 	}
-	for _, path := range barriers.PathsBetween(cd, lg, limit) {
-		lj := barriers.MaxLen(path) + dMaxG
+	var sc bdag.Scratch
+	for j := 0; j < limit; j++ {
+		path, plen, ok := barriers.NthPath(cd, lg, j)
+		if !ok {
+			break
+		}
+		lj := plen + dMaxG
 		if lj <= plainMin {
 			return true, nil
 		}
-		forced := make(map[bdag.Edge]bool, len(path))
-		for k := 0; k+1 < len(path); k++ {
-			forced[bdag.Edge{From: path[k], To: path[k+1]}] = true
-		}
-		starMin, err := barriers.LongestMinForced(cd, li, forced)
+		starMin, err := barriers.LongestMinForcedPath(cd, li, path, &sc)
 		if err != nil {
 			return false, err
 		}

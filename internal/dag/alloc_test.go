@@ -1,0 +1,34 @@
+package dag
+
+import (
+	"testing"
+
+	"barriermimd/internal/ir"
+)
+
+// TestAllocsEdgeKind pins the EdgeKind fast path: the lookup is a binary
+// search over per-node sorted adjacency built at Build time and must not
+// allocate (the scheduler calls it once per dependence per placement).
+func TestAllocsEdgeKind(t *testing.T) {
+	b := &ir.Block{}
+	b.Append(ir.Tuple{Op: ir.Load, Var: "a", Args: [2]int{ir.NoArg, ir.NoArg}}) // 0
+	b.Append(ir.Tuple{Op: ir.Load, Var: "b", Args: [2]int{ir.NoArg, ir.NoArg}}) // 1
+	b.Append(ir.Tuple{Op: ir.Add, Args: [2]int{0, 1}})                          // 2
+	b.Append(ir.Tuple{Op: ir.Store, Var: "a", Args: [2]int{2, ir.NoArg}})       // 3
+	g, err := Build(b, ir.DefaultTimings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, ok := g.EdgeKind(0, 2); !ok {
+			t.Fatal("edge 0->2 missing")
+		}
+		if _, ok := g.EdgeKind(2, 3); !ok {
+			t.Fatal("edge 2->3 missing")
+		}
+		g.EdgeKind(1, 3)
+	})
+	if allocs != 0 {
+		t.Errorf("EdgeKind allocates %.1f per run, want 0", allocs)
+	}
+}

@@ -3,6 +3,7 @@ package dag
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"barriermimd/internal/ir"
 )
@@ -53,6 +54,19 @@ type Graph struct {
 	edges     []Edge
 	realEdges []Edge
 	realPreds [][]int
+
+	// The graph is immutable after Build, so derived orders and
+	// per-node aggregates are computed once and shared between all
+	// callers. Callers must treat the returned slices as read-only.
+	topoOnce    sync.Once
+	topoOrder   []int
+	topoErr     error
+	heightsOnce sync.Once
+	heights     Heights
+	heightsErr  error
+	finOnce     sync.Once
+	fin         FinishTimes
+	finErr      error
 }
 
 // Build constructs the DAG for a block under the given timing model.
@@ -215,8 +229,14 @@ func (g *Graph) TotalImpliedSynchronizations() int { return len(g.RealEdges()) }
 
 // Topo returns a topological order over all nodes (entry first, exit last),
 // or an error if the graph contains a cycle. The order is deterministic:
-// among ready nodes, the lowest index is emitted first.
+// among ready nodes, the lowest index is emitted first. The order is
+// computed once per graph; the returned slice is shared, do not modify.
 func (g *Graph) Topo() ([]int, error) {
+	g.topoOnce.Do(func() { g.topoOrder, g.topoErr = g.computeTopo() })
+	return g.topoOrder, g.topoErr
+}
+
+func (g *Graph) computeTopo() ([]int, error) {
 	n := len(g.succs)
 	indeg := make([]int, n)
 	for _, e := range g.Edges() {

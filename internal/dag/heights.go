@@ -11,8 +11,14 @@ type Heights struct {
 
 // Heights computes h_min and h_max for every node by dynamic programming
 // over a reverse topological order. The entry node's maximum height equals
-// the critical path time t_cr.
+// the critical path time t_cr. Heights are computed once per graph; the
+// returned slices are shared, do not modify.
 func (g *Graph) Heights() (Heights, error) {
+	g.heightsOnce.Do(func() { g.heights, g.heightsErr = g.computeHeights() })
+	return g.heights, g.heightsErr
+}
+
+func (g *Graph) computeHeights() (Heights, error) {
 	order, err := g.Topo()
 	if err != nil {
 		return Heights{}, err
@@ -48,8 +54,14 @@ type FinishTimes struct {
 }
 
 // FinishTimes computes earliest/latest finish times by forward dynamic
-// programming over a topological order.
+// programming over a topological order. Finish times are computed once per
+// graph; the returned slices are shared, do not modify.
 func (g *Graph) FinishTimes() (FinishTimes, error) {
+	g.finOnce.Do(func() { g.fin, g.finErr = g.computeFinishTimes() })
+	return g.fin, g.finErr
+}
+
+func (g *Graph) computeFinishTimes() (FinishTimes, error) {
 	order, err := g.Topo()
 	if err != nil {
 		return FinishTimes{}, err
