@@ -4,7 +4,7 @@ GO ?= go
 # count, and memory reporting (set BENCHMEM= to drop allocs/op columns,
 # BENCH=. to run every benchmark).
 BASE ?= HEAD~1
-BENCH ?= BenchmarkSchedule
+BENCH ?= BenchmarkSchedule|BenchmarkSimulateSweep|BenchmarkCompilePlan
 COUNT ?= 10
 BENCHMEM ?= -benchmem
 

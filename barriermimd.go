@@ -26,6 +26,7 @@ import (
 	"barriermimd/internal/ir"
 	"barriermimd/internal/lang"
 	"barriermimd/internal/machine"
+	"barriermimd/internal/metrics"
 	"barriermimd/internal/mimd"
 	"barriermimd/internal/opt"
 	"barriermimd/internal/synth"
@@ -58,6 +59,14 @@ type (
 	SimConfig = machine.Config
 	// Run is the outcome of one simulated execution.
 	Run = machine.Result
+	// SimPlan is a schedule compiled for repeated simulation: immutable,
+	// shareable across goroutines, with per-run scratch recycled through an
+	// internal pool.
+	SimPlan = machine.Plan
+	// MachineKind selects the barrier hardware model (SBM or DBM).
+	MachineKind = core.MachineKind
+	// SimStats are the process-wide simulation throughput counters.
+	SimStats = metrics.SimStats
 	// VLIWResult is a lock-step VLIW schedule (section 6 baseline).
 	VLIWResult = vliw.Result
 	// ExpConfig parameterizes an experiment reproduction.
@@ -129,8 +138,20 @@ func ScheduleSource(src string, opts Options) (*Schedule, error) {
 }
 
 // Simulate executes a schedule on its machine with the given timing
-// policy, returning per-instruction times and the completion time.
+// policy, returning per-instruction times and the completion time. This is
+// the one-shot reference path; sweeps should CompileSim once and call
+// SimPlan.Run per seed — the results are byte-identical.
 func Simulate(s *Schedule, cfg SimConfig) (*Run, error) { return machine.Run(s, cfg) }
+
+// CompileSim lowers a schedule into an immutable simulation plan for the
+// given machine kind. Compile once, run many: SimPlan.Run executes the
+// plan with a per-run SimConfig, recycling all mutable state through a
+// pool, and is byte-identical to Simulate for the same inputs.
+func CompileSim(s *Schedule, kind MachineKind) (*SimPlan, error) { return machine.Compile(s, kind) }
+
+// SimulationStats snapshots the process-wide simulation counters (plans
+// compiled, plan runs, scratch pool hits/misses).
+func SimulationStats() SimStats { return machine.Stats() }
 
 // ScheduleVLIW schedules the DAG on a lock-step VLIW with the given number
 // of units, all instructions at maximum time (the section 6 baseline).

@@ -168,6 +168,74 @@ func BenchmarkSimulateSBM(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulateSweep measures the compiled-plan sweep path: one
+// Compile amortized over per-seed Plan.Run executions with recycled
+// scratch, for both machine kinds. Compare against
+// BenchmarkSimulateSweepLegacy, which runs the identical sweep through the
+// reference per-run simulator.
+func BenchmarkSimulateSweep(b *testing.B) {
+	g := benchGraph(b, 60, 10, 1)
+	s, err := core.ScheduleDAG(g, core.DefaultOptions(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, kind := range []core.MachineKind{core.SBM, core.DBM} {
+		b.Run(kind.String(), func(b *testing.B) {
+			plan, err := machine.Compile(s, kind)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := plan.Run(machine.Config{Policy: machine.RandomTimes, Seed: int64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				r.Release()
+			}
+		})
+	}
+}
+
+// BenchmarkSimulateSweepLegacy is the oracle-path twin of
+// BenchmarkSimulateSweep: the same sweep through RunAs, which re-derives
+// queue order and simulator state every execution.
+func BenchmarkSimulateSweepLegacy(b *testing.B) {
+	g := benchGraph(b, 60, 10, 1)
+	s, err := core.ScheduleDAG(g, core.DefaultOptions(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, kind := range []core.MachineKind{core.SBM, core.DBM} {
+		b.Run(kind.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := machine.RunAs(s, kind, machine.Config{Policy: machine.RandomTimes, Seed: int64(i)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCompilePlan measures the one-time schedule-to-plan lowering
+// that the sweep benchmarks amortize.
+func BenchmarkCompilePlan(b *testing.B) {
+	g := benchGraph(b, 60, 10, 1)
+	s, err := core.ScheduleDAG(g, core.DefaultOptions(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := machine.Compile(s, core.SBM); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkVLIWSchedule measures the section 6 baseline scheduler.
 func BenchmarkVLIWSchedule(b *testing.B) {
 	g := benchGraph(b, 60, 10, 1)

@@ -7,6 +7,7 @@
 //
 //	bmexp -experiment fig15            # one experiment
 //	bmexp -experiment all -runs 100    # everything, paper-scale populations
+//	bmexp -simstats stats.json         # dump simulation throughput counters
 //	bmexp -list
 package main
 

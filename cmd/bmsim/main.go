@@ -1,13 +1,18 @@
 // Command bmsim schedules a program and executes it on simulated barrier
-// MIMD hardware with randomized instruction timings, verifying that every
-// producer/consumer dependence is satisfied at run time.
+// MIMD hardware, verifying that every producer/consumer dependence is
+// satisfied at run time. The schedule is compiled into a simulation plan
+// once; every execution reuses it.
 //
 // Usage:
 //
 //	bmsim [-procs 8] [-machine sbm|dbm] [-runs 20] [-seed 0] [-gantt]
+//	      [-policy random|min|max] [-seeds N]
 //	      [-stmts 40 -vars 10 | file.bb]
 //
-// Without a file argument, a synthetic benchmark is generated.
+// Without a file argument, a synthetic benchmark is generated. With
+// -seeds N, the compiled plan additionally sweeps N seeds across all
+// cores and reports the min/median/max finish time plus the plan and
+// scratch-pool amortization counters.
 package main
 
 import (

@@ -8,6 +8,7 @@ import (
 	"barriermimd/internal/dag"
 	"barriermimd/internal/ir"
 	"barriermimd/internal/lang"
+	"barriermimd/internal/machine"
 	"barriermimd/internal/opt"
 	"barriermimd/internal/pool"
 )
@@ -58,6 +59,10 @@ type BasicBlock struct {
 	Tuples *ir.Block
 	Graph  *dag.Graph
 	Sched  *core.Schedule
+	// Plan is the block's schedule compiled for repeated simulation; loop
+	// bodies execute their block once per dynamic iteration, so Run
+	// amortizes all derived simulator state across iterations through it.
+	Plan *machine.Plan
 }
 
 // Program is a control-flow graph of basic blocks.
@@ -180,7 +185,11 @@ func (p *Program) Compile(opts core.Options, tm ir.TimingModel) error {
 		if err != nil {
 			return fmt.Errorf("cfg: block B%d: %w", b.ID, err)
 		}
-		b.Tuples, b.Graph, b.Sched = optimized, g, s
+		plan, err := machine.Compile(s, s.Opts.Machine)
+		if err != nil {
+			return fmt.Errorf("cfg: block B%d: %w", b.ID, err)
+		}
+		b.Tuples, b.Graph, b.Sched, b.Plan = optimized, g, s, plan
 		return nil
 	})
 }

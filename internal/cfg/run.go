@@ -66,7 +66,18 @@ func (p *Program) Run(initial ir.Memory, cfg RunConfig) (*RunResult, error) {
 		b := p.Blocks[cur]
 
 		start := res.Time
-		run, err := machine.Run(b.Sched, machine.Config{
+		// Loop bodies re-execute their block once per dynamic iteration;
+		// the plan compiled by Program.Compile amortizes all derived
+		// simulator state across those iterations (falling back to a lazy
+		// compile for programs built before Compile populated it).
+		if b.Plan == nil {
+			plan, err := machine.Compile(b.Sched, b.Sched.Opts.Machine)
+			if err != nil {
+				return nil, fmt.Errorf("cfg: block B%d: %w", b.ID, err)
+			}
+			b.Plan = plan
+		}
+		run, err := b.Plan.Run(machine.Config{
 			Policy:      cfg.Policy,
 			Seed:        cfg.Seed + int64(count),
 			BarrierCost: cfg.BarrierCost,
@@ -78,6 +89,7 @@ func (p *Program) Run(initial ir.Memory, cfg RunConfig) (*RunResult, error) {
 			return nil, fmt.Errorf("cfg: block B%d: %w", b.ID, err)
 		}
 		res.Time += run.FinishTime
+		run.Release()
 		res.Trace = append(res.Trace, BlockExec{Block: b.ID, Start: start, Finish: res.Time})
 
 		mem, err := b.Tuples.Eval(res.Memory)

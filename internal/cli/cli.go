@@ -10,6 +10,7 @@ import (
 	"barriermimd/internal/dag"
 	"barriermimd/internal/ir"
 	"barriermimd/internal/lang"
+	"barriermimd/internal/machine"
 	"barriermimd/internal/opt"
 )
 
@@ -52,6 +53,19 @@ func parseMachine(name string) (core.MachineKind, error) {
 		return core.DBM, nil
 	}
 	return 0, fmt.Errorf("unknown machine %q (want sbm or dbm)", name)
+}
+
+// parsePolicy maps a -policy flag value.
+func parsePolicy(name string) (machine.Policy, error) {
+	switch strings.ToLower(name) {
+	case "random":
+		return machine.RandomTimes, nil
+	case "min":
+		return machine.MinTimes, nil
+	case "max":
+		return machine.MaxTimes, nil
+	}
+	return 0, fmt.Errorf("unknown policy %q (want random, min, or max)", name)
 }
 
 // parseInsertion maps a -insertion flag value.

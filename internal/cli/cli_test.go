@@ -188,6 +188,62 @@ func TestSimBadMachine(t *testing.T) {
 	}
 }
 
+func TestSimSeedSweep(t *testing.T) {
+	code, out, _ := runSim([]string{"-stmts", "20", "-vars", "6", "-runs", "2", "-seeds", "30"}, t, "")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"seed sweep: 30 runs of one compiled plan", "finish min/median/max:", "sim stats: plans="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSimPolicyFlag(t *testing.T) {
+	// Under -policy min every execution is the static best case, so the
+	// sweep extremes collapse: min == median == max.
+	code, out, _ := runSim([]string{"-stmts", "20", "-vars", "6", "-runs", "1", "-seeds", "10", "-policy", "min"}, t, "")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	_, line, ok := strings.Cut(out, "finish min/median/max: ")
+	if !ok {
+		t.Fatalf("missing sweep summary:\n%s", out)
+	}
+	line, _, _ = strings.Cut(line, "\n")
+	parts := strings.Split(line, " / ")
+	if len(parts) != 3 || parts[0] != parts[1] || parts[1] != parts[2] {
+		t.Errorf("min-policy sweep not degenerate: %q", line)
+	}
+}
+
+func TestSimBadPolicy(t *testing.T) {
+	if code, _, _ := runSim([]string{"-policy", "fast"}, t, ""); code == 0 {
+		t.Error("accepted bad policy")
+	}
+}
+
+func TestExpSimStats(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "simstats.json")
+	code, out, _ := runExpCmd([]string{"-experiment", "barriercost", "-runs", "3", "-simstats", path}, t, "")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "[sim stats written to ") {
+		t.Errorf("missing sim stats line:\n%s", out)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"plans_compiled"`, `"runs"`, `"pool_hit_rate"`} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("simstats JSON missing %s:\n%s", want, b)
+		}
+	}
+}
+
 func TestRunCFWhile(t *testing.T) {
 	src := "s = 0\nwhile n {\n s = s + n\n n = n - 1\n}\n"
 	code, out, _ := runRunCF([]string{"-set", "n=4", "-procs", "2"}, t, src)
@@ -256,6 +312,12 @@ func TestParseHelpers(t *testing.T) {
 	}
 	if _, err := parseInsertion("OPTIMAL"); err != nil {
 		t.Error("case-insensitive insertion parse failed")
+	}
+	if p, err := parsePolicy("MAX"); err != nil || p != 2 {
+		t.Errorf("parsePolicy(MAX) = %v, %v", p, err)
+	}
+	if _, err := parsePolicy("typical"); err == nil {
+		t.Error("accepted unknown policy")
 	}
 }
 

@@ -1,6 +1,7 @@
 package cli
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"barriermimd/internal/exp"
+	"barriermimd/internal/machine"
 )
 
 // Exp implements bmexp: regenerate the paper's tables and figures.
@@ -23,6 +25,7 @@ func Exp(args []string, stdout, stderr io.Writer) int {
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file")
 	list := fs.Bool("list", false, "list available experiments")
 	csvDir := fs.String("csv", "", "also write <experiment>.csv series files into this directory")
+	simStats := fs.String("simstats", "", "write simulation throughput counters (plans/runs/pool hit rate) as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -59,6 +62,11 @@ func Exp(args []string, stdout, stderr io.Writer) int {
 	if *name == "all" {
 		names = exp.Names()
 	}
+	if *simStats != "" {
+		// Counters are process-wide; reset so the dump covers exactly the
+		// experiments this invocation ran.
+		machine.ResetStats()
+	}
 	cfg := exp.Config{Runs: *runs, Seed: *seed, Workers: *workers}
 	for _, n := range names {
 		start := time.Now()
@@ -78,6 +86,24 @@ func Exp(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 		fmt.Fprintf(stdout, "\n[%s completed in %v]\n\n", n, time.Since(start).Round(time.Millisecond))
+	}
+	if *simStats != "" {
+		st := machine.Stats()
+		b, err := json.MarshalIndent(struct {
+			PlansCompiled uint64  `json:"plans_compiled"`
+			Runs          uint64  `json:"runs"`
+			RunsPerPlan   float64 `json:"runs_per_plan"`
+			ScratchHits   uint64  `json:"scratch_hits"`
+			ScratchMisses uint64  `json:"scratch_misses"`
+			PoolHitRate   float64 `json:"pool_hit_rate"`
+		}{st.PlansCompiled, st.Runs, st.RunsPerPlan(), st.ScratchHits, st.ScratchMisses, st.PoolHitRate()}, "", "  ")
+		if err != nil {
+			return fail(stderr, "bmexp", err)
+		}
+		if err := os.WriteFile(*simStats, append(b, '\n'), 0o644); err != nil {
+			return fail(stderr, "bmexp", err)
+		}
+		fmt.Fprintf(stdout, "[sim stats written to %s: %s]\n", *simStats, st.String())
 	}
 	return finishProfiles()
 }

@@ -4,9 +4,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"sort"
 
 	"barriermimd/internal/core"
 	"barriermimd/internal/machine"
+	"barriermimd/internal/pool"
 	"barriermimd/internal/synth"
 )
 
@@ -22,8 +24,9 @@ func printGantt(s *core.Schedule, seed int64, stdout, stderr io.Writer) int {
 }
 
 // Sim implements bmsim: schedule a program (from a file or synthesized)
-// and execute it repeatedly with random timings, verifying every
-// dependence.
+// and execute it repeatedly, verifying every dependence. The schedule is
+// compiled into a simulation plan once; all executions — the per-run table
+// and the optional -seeds sweep — reuse that plan.
 func Sim(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("bmsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -31,6 +34,8 @@ func Sim(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	machineName := fs.String("machine", "sbm", "sbm or dbm")
 	runs := fs.Int("runs", 20, "random-timing executions to simulate")
 	seed := fs.Int64("seed", 0, "base seed")
+	seeds := fs.Int("seeds", 0, "additionally sweep N seeds through the compiled plan (parallel) and report min/median/max finish")
+	policyName := fs.String("policy", "random", "timing policy: random, min, or max")
 	stmts := fs.Int("stmts", 40, "synthetic benchmark statements (no file given)")
 	vars := fs.Int("vars", 10, "synthetic benchmark variables (no file given)")
 	gantt := fs.Bool("gantt", false, "print a Gantt chart of the first execution")
@@ -42,6 +47,10 @@ func Sim(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	opts.Seed = *seed
 	var err error
 	if opts.Machine, err = parseMachine(*machineName); err != nil {
+		return fail(stderr, "bmsim", err)
+	}
+	policy, err := parsePolicy(*policyName)
+	if err != nil {
 		return fail(stderr, "bmsim", err)
 	}
 
@@ -78,11 +87,16 @@ func Sim(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "static completion window: [%d,%d]\n\n", mn, mx)
 
+	plan, err := machine.Compile(s, opts.Machine)
+	if err != nil {
+		return fail(stderr, "bmsim", err)
+	}
+
 	fmt.Fprintf(stdout, "%6s %10s %8s\n", "run", "finish", "checked")
 	violations := 0
 	for r := 0; r < *runs; r++ {
-		res, err := machine.Run(s, machine.Config{
-			Policy: machine.RandomTimes,
+		res, err := plan.Run(machine.Config{
+			Policy: policy,
 			Seed:   *seed + int64(r),
 		})
 		if err != nil {
@@ -101,11 +115,46 @@ func Sim(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		if r == 0 && *gantt {
 			fmt.Fprint(stdout, res.Gantt(100))
 		}
+		res.Release()
 	}
 	if violations > 0 {
 		fmt.Fprintf(stderr, "bmsim: %d violations detected\n", violations)
 		return 1
 	}
 	fmt.Fprintf(stdout, "\nall %d executions satisfied every dependence within [%d,%d]\n", *runs, mn, mx)
+
+	if *seeds > 0 {
+		finishes, err := sweepSeeds(plan, policy, *seed, *seeds)
+		if err != nil {
+			return fail(stderr, "bmsim", err)
+		}
+		st := machine.Stats()
+		fmt.Fprintf(stdout, "\nseed sweep: %d runs of one compiled plan (%v, %v timings)\n",
+			*seeds, opts.Machine, policy)
+		fmt.Fprintf(stdout, "finish min/median/max: %d / %d / %d\n",
+			finishes[0], finishes[len(finishes)/2], finishes[len(finishes)-1])
+		fmt.Fprintf(stdout, "sim stats: %s\n", st.String())
+	}
 	return 0
+}
+
+// sweepSeeds runs the plan once per seed across the worker pool and
+// returns the finish times sorted ascending. The plan is shared: only the
+// per-run scratch (drawn from the plan's pool) is private to a worker.
+func sweepSeeds(plan *machine.Plan, policy machine.Policy, base int64, n int) ([]int, error) {
+	finishes := make([]int, n)
+	err := pool.ForEach(0, n, func(i int) error {
+		res, err := plan.Run(machine.Config{Policy: policy, Seed: base + int64(i)})
+		if err != nil {
+			return err
+		}
+		finishes[i] = res.FinishTime
+		res.Release()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Ints(finishes)
+	return finishes, nil
 }

@@ -57,13 +57,18 @@ func MIMD(cfg Config) (*MIMDResult, error) {
 		if err != nil {
 			return err
 		}
-		br, err := machine.Run(s, machine.Config{Policy: machine.RandomTimes, Seed: seed})
+		plan, err := machine.Compile(s, s.Opts.Machine)
+		if err != nil {
+			return err
+		}
+		br, err := plan.Run(machine.Config{Policy: machine.RandomTimes, Seed: seed})
 		if err != nil {
 			return err
 		}
 		nt[r] = float64(nr.FinishTime)
 		rt[r] = float64(rr.FinishTime)
 		bt[r] = float64(br.FinishTime)
+		br.Release()
 		return nil
 	})
 	if err != nil {
@@ -104,19 +109,24 @@ type BarrierCostResult struct {
 	Barriers metrics.Summary
 }
 
-// BarrierCost sweeps the per-barrier hardware latency.
+// BarrierCost sweeps the per-barrier hardware latency. Each benchmark's
+// schedule is compiled into a simulation plan once; the cost × seed sweep
+// then fans plan runs across the worker pool, recycling all per-run state.
 func BarrierCost(cfg Config) (*BarrierCostResult, error) {
 	cfg = cfg.withDefaults()
 	res := &BarrierCostResult{Costs: []int{0, 1, 2, 4, 8, 16}}
 	res.Completion.Name = "completion"
 	bars := make([]float64, cfg.Runs)
-	scheds := make([]*core.Schedule, cfg.Runs)
+	plans := make([]*machine.Plan, cfg.Runs)
 	err := cfg.forEach(cfg.Runs, func(r int) error {
 		s, err := ScheduleOne(60, 10, cfg.seedAt(0, r), core.DefaultOptions(8))
 		if err != nil {
 			return err
 		}
-		scheds[r] = s
+		plans[r], err = machine.Compile(s, s.Opts.Machine)
+		if err != nil {
+			return err
+		}
 		bars[r] = float64(s.NumBarriers())
 		return nil
 	})
@@ -125,15 +135,20 @@ func BarrierCost(cfg Config) (*BarrierCostResult, error) {
 	}
 	res.Barriers = metrics.Summarize(bars)
 	for _, cost := range res.Costs {
-		var ts []float64
-		for i, s := range scheds {
-			run, err := machine.Run(s, machine.Config{
+		ts := make([]float64, cfg.Runs)
+		err := cfg.forEach(cfg.Runs, func(i int) error {
+			run, err := plans[i].Run(machine.Config{
 				Policy: machine.RandomTimes, Seed: int64(i), BarrierCost: cost,
 			})
 			if err != nil {
-				return nil, err
+				return err
 			}
-			ts = append(ts, float64(run.FinishTime))
+			ts[i] = float64(run.FinishTime)
+			run.Release()
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		res.Completion.Add(float64(cost), ts)
 	}

@@ -1,0 +1,78 @@
+package machine
+
+// calendar is the DBM's ready-event calendar: a d-ary min-heap of dense
+// barrier indices, holding exactly the barriers whose participants have
+// all arrived but which have not yet fired. The heap key is the dense
+// index itself, which is ascending schedule-level barrier id — the same
+// priority the legacy associative matcher applies when it rescans all
+// barriers and fires the lowest-id ready one, so popping the calendar
+// reproduces the legacy fire order exactly. (The SBM needs no calendar:
+// its queue is precomputed at compile time, ordered by earliest possible
+// fire time.)
+//
+// A 4-ary layout keeps the heap shallow for the typical few dozen
+// barriers per block and touches one cache line per level; push and pop
+// never allocate once the backing array reaches the barrier count, which
+// Plan.newScratch pre-sizes.
+type calendar struct {
+	heap []int32
+}
+
+const calArity = 4
+
+func newCalendar(capacity int) calendar {
+	return calendar{heap: make([]int32, 0, capacity)}
+}
+
+func (c *calendar) reset() { c.heap = c.heap[:0] }
+
+func (c *calendar) empty() bool { return len(c.heap) == 0 }
+
+// push inserts dense barrier d, sifting it up by index order.
+func (c *calendar) push(d int32) {
+	c.heap = append(c.heap, d)
+	i := len(c.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / calArity
+		if c.heap[parent] <= c.heap[i] {
+			break
+		}
+		c.heap[parent], c.heap[i] = c.heap[i], c.heap[parent]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum dense barrier index.
+func (c *calendar) pop() (int32, bool) {
+	n := len(c.heap)
+	if n == 0 {
+		return 0, false
+	}
+	top := c.heap[0]
+	n--
+	c.heap[0] = c.heap[n]
+	c.heap = c.heap[:n]
+	i := 0
+	for {
+		first := calArity*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + calArity
+		if last > n {
+			last = n
+		}
+		for k := first + 1; k < last; k++ {
+			if c.heap[k] < c.heap[min] {
+				min = k
+			}
+		}
+		if c.heap[i] <= c.heap[min] {
+			break
+		}
+		c.heap[i], c.heap[min] = c.heap[min], c.heap[i]
+		i = min
+	}
+	return top, true
+}

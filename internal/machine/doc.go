@@ -15,4 +15,19 @@
 // randomized instruction durations, Result.CheckDependences verifies that
 // every producer finished before its consumer started — i.e. that the
 // compiler's static synchronization decisions were sound.
+//
+// # Compile-once / run-many
+//
+// The package offers two equivalent execution paths. Run/RunAs re-derive
+// everything from the schedule per call and serve as the reference
+// implementation. Compile lowers a schedule once into an immutable Plan —
+// flat per-processor instruction streams, CSR barrier-participation and
+// barrier-dag lists, a dense barrier-id remapping, and (for the SBM) the
+// precomputed firing queue — and Plan.Run executes it with per-run state
+// recycled through a sync.Pool. A Plan depends only on (schedule, machine
+// kind), never on a run's Config, so one Plan serves any number of
+// concurrent goroutines sweeping seeds, policies, and barrier costs; a
+// warm run-and-release cycle performs no allocations. Plan.Run results are
+// byte-identical to Run/RunAs (enforced by regression test), and Stats
+// reports the process-wide plan/run/pool counters.
 package machine

@@ -51,7 +51,10 @@ type Config struct {
 	BarrierCost int
 }
 
-// Result holds the outcome of a simulation.
+// Result holds the outcome of a simulation. Barrier firing times are
+// stored densely (one slot per live barrier, ascending id order) instead
+// of in a per-run map; read them through FireTimeOf or the FireTimes
+// compatibility method.
 type Result struct {
 	// Schedule is the simulated schedule.
 	Schedule *core.Schedule
@@ -60,14 +63,59 @@ type Result struct {
 	FinishTime int
 	// Start and Finish give each real DAG node's execution interval.
 	Start, Finish []int
-	// FireTime maps each live barrier id to its firing time
-	// (InitialBarrier fires at 0).
-	FireTime map[int]int
 	// FireOrder lists barrier ids in firing sequence.
 	FireOrder []int
+
+	// barIDs maps dense barrier indices to schedule-level ids in
+	// ascending order; fireTime is indexed the same way (-1 = never
+	// fired; the initial barrier fires at 0).
+	barIDs   []int
+	fireTime []int
+	// sc is non-nil when the result's storage is owned by a plan's
+	// scratch pool (see Release).
+	sc *scratch
+}
+
+// FireTimeOf returns the firing time of the given schedule-level barrier
+// id. ok is false for ids that are not live barriers of the schedule (or
+// never fired, which cannot happen in a successfully returned Result).
+func (r *Result) FireTimeOf(id int) (t int, ok bool) {
+	d := denseIndex(r.barIDs, id)
+	if d < 0 || r.fireTime[d] < 0 {
+		return 0, false
+	}
+	return r.fireTime[d], true
+}
+
+// FireTimes builds the legacy barrier-id → firing-time map (including
+// InitialBarrier at 0). It allocates; hot paths should use FireTimeOf.
+func (r *Result) FireTimes() map[int]int {
+	m := make(map[int]int, len(r.barIDs))
+	for d, id := range r.barIDs {
+		if r.fireTime[d] >= 0 {
+			m[id] = r.fireTime[d]
+		}
+	}
+	return m
+}
+
+// Release recycles the result's storage into the plan pool it came from,
+// for results produced by Plan.Run; the result must not be used
+// afterwards. Release is a no-op for results of the legacy Run/RunAs
+// path.
+func (r *Result) Release() {
+	if r.sc != nil {
+		r.sc.release()
+	}
 }
 
 // Run simulates the schedule on the machine kind recorded in its options.
+//
+// Run is the reference per-run implementation: it re-derives queue order
+// and simulator state from the schedule on every call. Sweeps that execute
+// one schedule many times should Compile once and use Plan.Run, which is
+// byte-identical (Run is retained as the oracle for that equivalence) and
+// amortizes all derived state across runs.
 func Run(s *core.Schedule, cfg Config) (*Result, error) {
 	return run(s, s.Opts.Machine, cfg)
 }
@@ -77,7 +125,8 @@ func Run(s *core.Schedule, cfg Config) (*Result, error) {
 // either machine: the SBM queue is a linear extension of the barrier dag,
 // so barriers can only be *delayed* relative to the DBM (never
 // deadlocked), which is exactly the SBM-vs-DBM completion-time trade the
-// paper describes in section 3.2.
+// paper describes in section 3.2. Like Run, this is the reference path;
+// see Compile for the compiled fast path.
 func RunAs(s *core.Schedule, kind core.MachineKind, cfg Config) (*Result, error) {
 	return run(s, kind, cfg)
 }
@@ -166,8 +215,13 @@ func run(s *core.Schedule, kind core.MachineKind, cfg Config) (*Result, error) {
 		Schedule: s,
 		Start:    make([]int, s.Graph.N),
 		Finish:   make([]int, s.Graph.N),
-		FireTime: map[int]int{core.InitialBarrier: 0},
+		barIDs:   s.BarrierIDs(),
 	}
+	res.fireTime = make([]int, len(res.barIDs))
+	for d := range res.fireTime {
+		res.fireTime[d] = -1
+	}
+	res.fireTime[0] = 0 // InitialBarrier fires at 0
 
 	var queue []int
 	if kind == core.SBM {
@@ -220,7 +274,7 @@ func run(s *core.Schedule, kind core.MachineKind, cfg Config) (*Result, error) {
 			procs[p].blocked = -1
 			procs[p].pos++
 		}
-		res.FireTime[id] = t
+		res.fireTime[denseIndex(res.barIDs, id)] = t
 		res.FireOrder = append(res.FireOrder, id)
 		return nil
 	}
@@ -275,7 +329,7 @@ func run(s *core.Schedule, kind core.MachineKind, cfg Config) (*Result, error) {
 			}
 			sort.Ints(ids)
 			for _, id := range ids {
-				if _, already := res.FireTime[id]; already {
+				if res.fireTime[denseIndex(res.barIDs, id)] >= 0 {
 					continue
 				}
 				ready := true

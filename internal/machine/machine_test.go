@@ -213,7 +213,7 @@ func TestBarriersResumeSimultaneously(t *testing.T) {
 	}
 	// For every barrier, each participant's next instruction must start
 	// exactly at the fire time (exact synchrony property).
-	for id, fireT := range r.FireTime {
+	for id, fireT := range r.FireTimes() {
 		if id == core.InitialBarrier {
 			continue
 		}
@@ -434,8 +434,8 @@ func TestDBMFireTimesPointwiseDominance(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			for id, st := range rs.FireTime {
-				if dt, ok := rd.FireTime[id]; !ok || dt > st {
+			for id, st := range rs.FireTimes() {
+				if dt, ok := rd.FireTimeOf(id); !ok || dt > st {
 					t.Errorf("seed %d trial %d: barrier %d fired at %d on DBM vs %d on SBM",
 						seed, trial, id, dt, st)
 				}

@@ -1,0 +1,9 @@
+//go:build race
+
+package machine
+
+// raceEnabled reports whether the race detector is active. Its
+// instrumentation allocates inside the hot loop and deliberately drops
+// sync.Pool items to widen race windows, so the allocation pin and the
+// pool hit-rate assertions only hold in non-race builds.
+const raceEnabled = true

@@ -1,0 +1,39 @@
+package machine
+
+import (
+	"sync/atomic"
+
+	"barriermimd/internal/metrics"
+)
+
+// simStats holds the package-wide simulation counters behind Stats. The
+// counters are atomic so concurrent plan runs (the intended use) can bump
+// them without coordination.
+var simStats struct {
+	plans  atomic.Uint64
+	runs   atomic.Uint64
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// Stats snapshots the process-wide simulation counters: plans compiled,
+// plan runs executed, and how often a run's scratch state was recycled
+// from a pool rather than freshly allocated. Legacy Run/RunAs executions
+// are not counted — they compile nothing and recycle nothing.
+func Stats() metrics.SimStats {
+	return metrics.SimStats{
+		PlansCompiled: simStats.plans.Load(),
+		Runs:          simStats.runs.Load(),
+		ScratchHits:   simStats.hits.Load(),
+		ScratchMisses: simStats.misses.Load(),
+	}
+}
+
+// ResetStats zeroes the simulation counters (so a tool can report one
+// sweep's amortization in isolation).
+func ResetStats() {
+	simStats.plans.Store(0)
+	simStats.runs.Store(0)
+	simStats.hits.Store(0)
+	simStats.misses.Store(0)
+}

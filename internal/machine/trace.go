@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-
-	"barriermimd/internal/core"
 )
 
 // Gantt renders the execution as an ASCII timeline, one row per processor:
@@ -42,7 +40,7 @@ func (r *Result) Gantt(cols int) string {
 		arrive := 0
 		for _, it := range s.Procs[p] {
 			if it.IsBarrier {
-				fire := r.FireTime[it.Barrier]
+				fire, _ := r.FireTimeOf(it.Barrier)
 				for c := col(arrive); c < col(fire); c++ {
 					row[c] = '.'
 				}
@@ -63,18 +61,20 @@ func (r *Result) Gantt(cols int) string {
 		}
 		fmt.Fprintf(&sb, "P%-3d %s\n", p, string(row))
 	}
-	// Barrier firing legend in time order.
-	ids := make([]int, 0, len(r.FireTime))
-	for id := range r.FireTime {
-		if id != core.InitialBarrier {
-			ids = append(ids, id)
-		}
-	}
-	sort.Slice(ids, func(a, b int) bool { return r.FireTime[ids[a]] < r.FireTime[ids[b]] })
+	// Barrier firing legend in time order. FireOrder already holds the
+	// fired ids; a stable sort by fire time keeps simultaneous firings in
+	// their firing sequence.
+	ids := append([]int(nil), r.FireOrder...)
+	sort.SliceStable(ids, func(a, b int) bool {
+		ta, _ := r.FireTimeOf(ids[a])
+		tb, _ := r.FireTimeOf(ids[b])
+		return ta < tb
+	})
 	if len(ids) > 0 {
 		sb.WriteString("barriers fired:")
 		for _, id := range ids {
-			fmt.Fprintf(&sb, " b%d@%d", id, r.FireTime[id])
+			t, _ := r.FireTimeOf(id)
+			fmt.Fprintf(&sb, " b%d@%d", id, t)
 		}
 		sb.WriteByte('\n')
 	}

@@ -36,6 +36,53 @@ func (c CacheStats) String() string {
 	return fmt.Sprintf("hits=%d misses=%d rate=%.1f%%", c.Hits, c.Misses, 100*c.HitRate())
 }
 
+// SimStats counts the simulation engine's compile/run split: how many
+// immutable plans were compiled, how many executions they served, and how
+// often a run's scratch state came from the recycle pool instead of a
+// fresh allocation.
+type SimStats struct {
+	// PlansCompiled counts machine.Compile calls that produced a plan.
+	PlansCompiled uint64
+	// Runs counts plan executions.
+	Runs uint64
+	// ScratchHits counts runs whose scratch state was recycled from the
+	// pool; ScratchMisses counts runs that had to allocate a fresh one.
+	ScratchHits   uint64
+	ScratchMisses uint64
+}
+
+// RunsPerPlan is Runs / PlansCompiled, or 0 with no plans — the
+// amortization factor the compile-once/run-many split is buying.
+func (s SimStats) RunsPerPlan() float64 {
+	if s.PlansCompiled > 0 {
+		return float64(s.Runs) / float64(s.PlansCompiled)
+	}
+	return 0
+}
+
+// PoolHitRate is ScratchHits / (ScratchHits + ScratchMisses), or 0 with no
+// runs.
+func (s SimStats) PoolHitRate() float64 {
+	if n := s.ScratchHits + s.ScratchMisses; n > 0 {
+		return float64(s.ScratchHits) / float64(n)
+	}
+	return 0
+}
+
+// Add accumulates another counter set into s.
+func (s *SimStats) Add(o SimStats) {
+	s.PlansCompiled += o.PlansCompiled
+	s.Runs += o.Runs
+	s.ScratchHits += o.ScratchHits
+	s.ScratchMisses += o.ScratchMisses
+}
+
+func (s SimStats) String() string {
+	return fmt.Sprintf("plans=%d runs=%d (%.1f runs/plan) scratch hits=%d misses=%d (%.1f%% pooled)",
+		s.PlansCompiled, s.Runs, s.RunsPerPlan(),
+		s.ScratchHits, s.ScratchMisses, 100*s.PoolHitRate())
+}
+
 // MaintStats counts how a derived structure (such as the scheduler's
 // barrier dag) was kept up to date across mutations: patched in place or
 // rebuilt from scratch, and how many memoized query rows each patch kept

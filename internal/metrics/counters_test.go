@@ -27,6 +27,30 @@ func TestCacheStats(t *testing.T) {
 	}
 }
 
+func TestSimStats(t *testing.T) {
+	var s SimStats
+	if s.RunsPerPlan() != 0 || s.PoolHitRate() != 0 {
+		t.Errorf("empty ratios = %v, %v, want 0, 0", s.RunsPerPlan(), s.PoolHitRate())
+	}
+	s = SimStats{PlansCompiled: 2, Runs: 10, ScratchHits: 9, ScratchMisses: 3}
+	if got := s.RunsPerPlan(); got != 5 {
+		t.Errorf("RunsPerPlan = %v, want 5", got)
+	}
+	if got := s.PoolHitRate(); got != 0.75 {
+		t.Errorf("PoolHitRate = %v, want 0.75", got)
+	}
+	s.Add(SimStats{PlansCompiled: 1, Runs: 5, ScratchHits: 1, ScratchMisses: 1})
+	if s.PlansCompiled != 3 || s.Runs != 15 || s.ScratchHits != 10 || s.ScratchMisses != 4 {
+		t.Errorf("after Add: %+v", s)
+	}
+	str := s.String()
+	for _, want := range []string{"plans=3", "runs=15", "(5.0 runs/plan)", "hits=10", "misses=4"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String = %q, missing %q", str, want)
+		}
+	}
+}
+
 func TestStageClock(t *testing.T) {
 	var sc StageClock
 	sc.Observe("order", 2*time.Millisecond)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"barriermimd/internal/core"
 	"barriermimd/internal/dag"
@@ -60,6 +61,113 @@ type Plan struct {
 	// (transitive reduction, as in Shaffer [Shaf89]); they need no
 	// runtime operation.
 	Removed []dag.Edge
+
+	// The compiled run state mirrors machine.Plan's compile-once/run-many
+	// split: flat instruction streams and in/out sync CSR lists derived
+	// lazily on first Simulate, plus a pool of per-run scratch. Everything
+	// here depends only on (Schedule, Syncs), never on a run's Config.
+	compileOnce sync.Once
+	cc          compiled
+	pool        sync.Pool // *runScratch
+}
+
+// compiled is the flat, immutable per-plan simulation state.
+type compiled struct {
+	// instrs concatenates every processor's instruction stream (barriers
+	// dropped); instrStart[p]..instrStart[p+1] delimits processor p.
+	instrStart []int32
+	instrs     []int32
+	// outStart/outIdx and inStart/inIdx are CSR lists of sync indices per
+	// node, ascending — the same order the slice-of-slices construction
+	// produced.
+	outStart, outIdx []int32
+	inStart, inIdx   []int32
+	// minDur/spanDur pre-split each node's duration range.
+	minDur, spanDur []int32
+}
+
+// runScratch is the recycled mutable state of one Simulate call. Start and
+// Finish are not here: they escape with the Result, so each run allocates
+// them fresh.
+type runScratch struct {
+	rng      *rand.Rand
+	dur      []int32
+	lat      []int32
+	tokenAt  []int
+	pos      []int32
+	clock    []int
+	computed []bool
+}
+
+func (p *Plan) compile() {
+	s := p.Schedule
+	n := s.Graph.N
+	c := &p.cc
+
+	total := 0
+	for _, tl := range s.Procs {
+		for _, it := range tl {
+			if !it.IsBarrier {
+				total++
+			}
+		}
+	}
+	c.instrStart = make([]int32, len(s.Procs)+1)
+	c.instrs = make([]int32, 0, total)
+	for pi, tl := range s.Procs {
+		c.instrStart[pi] = int32(len(c.instrs))
+		for _, it := range tl {
+			if !it.IsBarrier {
+				c.instrs = append(c.instrs, int32(it.Node))
+			}
+		}
+	}
+	c.instrStart[len(s.Procs)] = int32(len(c.instrs))
+
+	c.outStart = make([]int32, n+1)
+	c.inStart = make([]int32, n+1)
+	for _, e := range p.Syncs {
+		c.outStart[e.From+1]++
+		c.inStart[e.To+1]++
+	}
+	for i := 0; i < n; i++ {
+		c.outStart[i+1] += c.outStart[i]
+		c.inStart[i+1] += c.inStart[i]
+	}
+	c.outIdx = make([]int32, len(p.Syncs))
+	c.inIdx = make([]int32, len(p.Syncs))
+	outFill := make([]int32, n)
+	inFill := make([]int32, n)
+	for k, e := range p.Syncs {
+		c.outIdx[c.outStart[e.From]+outFill[e.From]] = int32(k)
+		outFill[e.From]++
+		c.inIdx[c.inStart[e.To]+inFill[e.To]] = int32(k)
+		inFill[e.To]++
+	}
+
+	c.minDur = make([]int32, n)
+	c.spanDur = make([]int32, n)
+	for i := 0; i < n; i++ {
+		t := s.Graph.Time[i]
+		c.minDur[i] = int32(t.Min)
+		c.spanDur[i] = int32(t.Max - t.Min + 1)
+	}
+}
+
+func (p *Plan) getScratch() *runScratch {
+	if v := p.pool.Get(); v != nil {
+		return v.(*runScratch)
+	}
+	n := p.Schedule.Graph.N
+	return &runScratch{
+		rng:      rand.New(rand.NewSource(0)),
+		dur:      make([]int32, n),
+		lat:      make([]int32, len(p.Syncs)),
+		tokenAt:  make([]int, len(p.Syncs)),
+		pos:      make([]int32, len(p.Schedule.Procs)),
+		clock:    make([]int, len(p.Schedule.Procs)),
+		computed: make([]bool, n),
+	}
 }
 
 // NewPlan derives the conventional-MIMD synchronization plan from a
@@ -188,81 +296,70 @@ type Result struct {
 // follows list order and every cross edge goes forward in list order, so
 // the simulation cannot deadlock; iteration in topological order of the
 // combined graph computes all times in one pass.
+//
+// The first Simulate on a plan compiles flat streams and sync CSR lists
+// once; subsequent runs draw all mutable state from a pool, so a sweep
+// over seeds allocates only the returned Result. Draw order (all node
+// durations in node order, then one latency per sync index, ascending) is
+// fixed, so a (Policy, Seed) pair denotes one concrete execution.
 func (p *Plan) Simulate(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
+	p.compileOnce.Do(p.compile)
+	c := &p.cc
 	s := p.Schedule
-	rng := rand.New(rand.NewSource(cfg.Seed))
 	n := s.Graph.N
 
-	durations := make([]int, n)
-	for i := range durations {
-		t := s.Graph.Time[i]
-		switch cfg.Policy {
-		case MinTimes:
-			durations[i] = t.Min
-		case MaxTimes:
-			durations[i] = t.Max
-		default:
-			durations[i] = t.Min + rng.Intn(t.Max-t.Min+1)
+	sc := p.getScratch()
+	defer p.pool.Put(sc)
+	sc.rng.Seed(cfg.Seed)
+	switch cfg.Policy {
+	case MinTimes:
+		copy(sc.dur, c.minDur)
+	case MaxTimes:
+		for i := range sc.dur {
+			sc.dur[i] = c.minDur[i] + c.spanDur[i] - 1
+		}
+	default:
+		for i := range sc.dur {
+			sc.dur[i] = c.minDur[i] + int32(sc.rng.Intn(int(c.spanDur[i])))
 		}
 	}
-	latency := func() int {
+	// Latencies drawn up front keyed by sync index so results are
+	// reproducible.
+	latSpan := cfg.Latency.Max - cfg.Latency.Min + 1
+	for k := range sc.lat {
 		switch cfg.Policy {
 		case MinTimes:
-			return cfg.Latency.Min
+			sc.lat[k] = int32(cfg.Latency.Min)
 		case MaxTimes:
-			return cfg.Latency.Max
+			sc.lat[k] = int32(cfg.Latency.Max)
 		default:
-			return cfg.Latency.Min + rng.Intn(cfg.Latency.Max-cfg.Latency.Min+1)
+			sc.lat[k] = int32(cfg.Latency.Min + sc.rng.Intn(latSpan))
 		}
 	}
-
-	// Outgoing syncs per node, in deterministic order; latencies drawn up
-	// front keyed by sync index so results are reproducible.
-	outSyncs := make([][]int, n) // node -> indices into p.Syncs
-	for k, e := range p.Syncs {
-		outSyncs[e.From] = append(outSyncs[e.From], k)
-	}
-	lat := make([]int, len(p.Syncs))
-	for k := range lat {
-		lat[k] = latency()
-	}
-	tokenAt := make([]int, len(p.Syncs)) // arrival time per sync
 
 	res := &Result{
 		Plan:  p,
 		Start: make([]int, n), Finish: make([]int, n),
 		SyncOps: len(p.Syncs),
 	}
-	inSyncs := make([][]int, n)
-	for k, e := range p.Syncs {
-		inSyncs[e.To] = append(inSyncs[e.To], k)
-	}
 
 	// Process nodes in per-processor order, interleaved by readiness:
 	// repeatedly advance any processor whose next instruction has all
 	// tokens computed. Token availability depends only on earlier list
 	// positions, so a simple worklist over processors terminates.
-	pos := make([]int, len(s.Procs))
-	clock := make([]int, len(s.Procs))
-	instrs := make([][]int, len(s.Procs))
-	for pi, tl := range s.Procs {
-		for _, it := range tl {
-			if !it.IsBarrier {
-				instrs[pi] = append(instrs[pi], it.Node)
-			}
-		}
-	}
-	computed := make([]bool, n)
+	clear(sc.pos)
+	clear(sc.clock)
+	clear(sc.computed)
 	for {
 		progress := false
 		done := true
-		for pi := range instrs {
-			for pos[pi] < len(instrs[pi]) {
-				node := instrs[pi][pos[pi]]
+		for pi := 0; pi < len(s.Procs); pi++ {
+			for sc.pos[pi] < c.instrStart[pi+1]-c.instrStart[pi] {
+				node := c.instrs[c.instrStart[pi]+sc.pos[pi]]
 				ready := true
-				for _, k := range inSyncs[node] {
-					if !computed[p.Syncs[k].From] {
+				for i := c.inStart[node]; i < c.inStart[node+1]; i++ {
+					if !sc.computed[p.Syncs[c.inIdx[i]].From] {
 						ready = false
 						break
 					}
@@ -271,25 +368,26 @@ func (p *Plan) Simulate(cfg Config) (*Result, error) {
 					done = false
 					break
 				}
-				start := clock[pi]
-				for _, k := range inSyncs[node] {
-					if tokenAt[k] > start {
-						start = tokenAt[k]
+				start := sc.clock[pi]
+				for i := c.inStart[node]; i < c.inStart[node+1]; i++ {
+					if at := sc.tokenAt[c.inIdx[i]]; at > start {
+						start = at
 					}
 				}
 				res.Start[node] = start
-				finish := start + durations[node]
+				finish := start + int(sc.dur[node])
 				res.Finish[node] = finish
-				computed[node] = true
+				sc.computed[node] = true
 				// Producer-side sends, serialized after the instruction.
 				t := finish
-				for _, k := range outSyncs[node] {
+				for i := c.outStart[node]; i < c.outStart[node+1]; i++ {
+					k := c.outIdx[i]
 					t += cfg.SendCost
 					res.SendCycles += cfg.SendCost
-					tokenAt[k] = t + lat[k]
+					sc.tokenAt[k] = t + int(sc.lat[k])
 				}
-				clock[pi] = t
-				pos[pi]++
+				sc.clock[pi] = t
+				sc.pos[pi]++
 				progress = true
 			}
 		}
@@ -300,9 +398,9 @@ func (p *Plan) Simulate(cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("mimd: deadlock (cyclic synchronization plan)")
 		}
 	}
-	for pi := range clock {
-		if clock[pi] > res.FinishTime {
-			res.FinishTime = clock[pi]
+	for pi := range sc.clock {
+		if sc.clock[pi] > res.FinishTime {
+			res.FinishTime = sc.clock[pi]
 		}
 	}
 	return res, nil

@@ -3,9 +3,39 @@ package vliw
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"barriermimd/internal/dag"
 )
+
+// schedScratch holds Schedule's internal work arrays, recycled through a
+// package pool so repeated scheduling (experiment sweeps run Schedule once
+// per benchmark × unit count) does not reallocate them. Result.Start and
+// Result.Unit escape with the caller and are always fresh.
+type schedScratch struct {
+	order    []int
+	finish   []int
+	unitFree []int
+}
+
+var schedPool = sync.Pool{New: func() any { return new(schedScratch) }}
+
+// fit resizes the scratch arrays for a graph of n nodes on the given
+// number of units, reusing capacity when possible.
+func (s *schedScratch) fit(n, units int) {
+	if cap(s.order) < n {
+		s.order = make([]int, n)
+		s.finish = make([]int, n)
+	}
+	s.order = s.order[:n]
+	s.finish = s.finish[:n]
+	clear(s.finish)
+	if cap(s.unitFree) < units {
+		s.unitFree = make([]int, units)
+	}
+	s.unitFree = s.unitFree[:units]
+	clear(s.unitFree)
+}
 
 // Result is a VLIW schedule for one basic block.
 type Result struct {
@@ -32,7 +62,10 @@ func Schedule(g *dag.Graph, units int) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	order := make([]int, g.N)
+	sc := schedPool.Get().(*schedScratch)
+	defer schedPool.Put(sc)
+	sc.fit(g.N, units)
+	order := sc.order
 	for i := range order {
 		order[i] = i
 	}
@@ -49,8 +82,8 @@ func Schedule(g *dag.Graph, units int) (*Result, error) {
 		Start: make([]int, g.N),
 		Unit:  make([]int, g.N),
 	}
-	finish := make([]int, g.N)
-	unitFree := make([]int, units)
+	finish := sc.finish
+	unitFree := sc.unitFree
 	for _, n := range order {
 		ready := 0
 		for _, p := range g.Preds(n) {
