@@ -8,7 +8,7 @@ BENCH ?= BenchmarkSchedule|BenchmarkSimulateSweep|BenchmarkCompilePlan
 COUNT ?= 10
 BENCHMEM ?= -benchmem
 
-.PHONY: build test race vet fmt-check bench benchcmp check
+.PHONY: build test race vet fmt-check bench benchcmp check docs-check trace
 
 build:
 	$(GO) build ./...
@@ -53,5 +53,18 @@ benchcmp:
 		echo "--- working tree ---"; grep '^Benchmark' "$$tmp/new.txt" || true; \
 	fi
 
+# Documentation gate: godoc examples compile and pass, and every
+# relative Markdown link resolves (see docs_link_test.go).
+docs-check:
+	$(GO) vet ./...
+	$(GO) test -run 'Example|TestDocsRelativeLinks' .
+
+# Produce a sample Perfetto-loadable trace of the paper's Figure 1
+# program being scheduled and seed-swept on the SBM: open
+# fig1-trace.json at https://ui.perfetto.dev. The capture is documented
+# step by step in OBSERVABILITY.md.
+trace:
+	$(GO) run ./cmd/bmsim -procs 4 -runs 2 -seeds 8 -trace fig1-trace.json testdata/fig1.bb
+
 # Everything the CI gate runs.
-check: build vet fmt-check test race
+check: build vet fmt-check test race docs-check

@@ -19,6 +19,8 @@
 package barriermimd
 
 import (
+	"io"
+
 	"barriermimd/internal/cfg"
 	"barriermimd/internal/core"
 	"barriermimd/internal/dag"
@@ -28,6 +30,7 @@ import (
 	"barriermimd/internal/machine"
 	"barriermimd/internal/metrics"
 	"barriermimd/internal/mimd"
+	"barriermimd/internal/obsv"
 	"barriermimd/internal/opt"
 	"barriermimd/internal/synth"
 	"barriermimd/internal/vliw"
@@ -67,6 +70,16 @@ type (
 	MachineKind = core.MachineKind
 	// SimStats are the process-wide simulation throughput counters.
 	SimStats = metrics.SimStats
+	// TraceEvent is one structured trace record of the scheduler or
+	// simulator; its schema is documented in OBSERVABILITY.md.
+	TraceEvent = obsv.Event
+	// TraceEventKind identifies a trace event's type.
+	TraceEventKind = obsv.Kind
+	// TraceRecorder consumes trace events; attach one via
+	// Options.Recorder (scheduler) or SimConfig.Recorder (simulator).
+	TraceRecorder = obsv.Recorder
+	// TraceRing is a fixed-capacity allocation-free trace recorder.
+	TraceRing = obsv.Ring
 	// VLIWResult is a lock-step VLIW schedule (section 6 baseline).
 	VLIWResult = vliw.Result
 	// ExpConfig parameterizes an experiment reproduction.
@@ -87,6 +100,24 @@ const (
 	RandomTimes    = machine.RandomTimes
 	MinTimes       = machine.MinTimes
 	MaxTimes       = machine.MaxTimes
+)
+
+// Trace event kinds (TraceEventKind values). Scheduler kinds time-stamp
+// with placement progress, simulator kinds with simulated time; the
+// per-kind argument meanings are documented in OBSERVABILITY.md.
+const (
+	TraceBarrierInsert = obsv.KindBarrierInsert
+	TraceBarrierMerge  = obsv.KindBarrierMerge
+	TraceMergeReject   = obsv.KindMergeReject
+	TraceRollback      = obsv.KindRollback
+	TraceRepair        = obsv.KindRepair
+	TraceGraphPatch    = obsv.KindGraphPatch
+	TraceGraphRebuild  = obsv.KindGraphRebuild
+	TraceCacheStats    = obsv.KindCacheStats
+	TraceSchedDone     = obsv.KindSchedDone
+	TraceRunStart      = obsv.KindRunStart
+	TraceBarrierFire   = obsv.KindBarrierFire
+	TraceRunEnd        = obsv.KindRunEnd
 )
 
 // DefaultTimings returns the Table 1 timing model.
@@ -152,6 +183,27 @@ func CompileSim(s *Schedule, kind MachineKind) (*SimPlan, error) { return machin
 // SimulationStats snapshots the process-wide simulation counters (plans
 // compiled, plan runs, scratch pool hits/misses).
 func SimulationStats() SimStats { return machine.Stats() }
+
+// NewTraceRing returns a trace recorder holding the newest capacity
+// events; see OBSERVABILITY.md for the event schema.
+func NewTraceRing(capacity int) *TraceRing { return obsv.NewRing(capacity) }
+
+// WriteTraceJSONL renders a ring's events as JSON Lines, one event per
+// line, oldest first (byte-identical for a fixed seed).
+func WriteTraceJSONL(w io.Writer, r *TraceRing) error { return obsv.WriteJSONL(w, r) }
+
+// WriteTraceChrome renders a ring's events as Chrome trace_event JSON,
+// loadable in Perfetto or about:tracing: scheduler events on one process
+// track in decision order, simulator events on another at their simulated
+// times.
+func WriteTraceChrome(w io.Writer, r *TraceRing) error { return obsv.WriteChromeTrace(w, r) }
+
+// ScheduleBatch schedules every DAG across opts.Parallelism workers.
+// Item i uses opts.Seed+i, so results — and, with opts.Recorder set, the
+// merged trace stream — are identical for every worker count.
+func ScheduleBatch(gs []*Graph, opts Options) ([]*Schedule, error) {
+	return core.ScheduleBatch(gs, opts)
+}
 
 // ScheduleVLIW schedules the DAG on a lock-step VLIW with the given number
 // of units, all instructions at maximum time (the section 6 baseline).

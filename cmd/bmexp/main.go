@@ -8,7 +8,13 @@
 //	bmexp -experiment fig15            # one experiment
 //	bmexp -experiment all -runs 100    # everything, paper-scale populations
 //	bmexp -simstats stats.json         # dump simulation throughput counters
+//	bmexp -http localhost:6060         # serve live metrics while running
 //	bmexp -list
+//
+// -http exposes Prometheus metrics (per-experiment wall time, simulation
+// throughput, scheduler stage latency), expvar, and pprof while the
+// experiments run; -httpwait keeps serving afterwards. See
+// OBSERVABILITY.md for the metric names.
 package main
 
 import (

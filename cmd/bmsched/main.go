@@ -6,10 +6,17 @@
 // Usage:
 //
 //	bmsched [-procs 8] [-machine sbm|dbm] [-insertion conservative|optimal]
-//	        [-seed 0] [-gantt] [file.bb | -example]
+//	        [-seed 0] [-gantt] [-j N] [-json | -dot dag|barriers]
+//	        [-cpuprofile f] [-memprofile f]
+//	        [-trace out.json] [-tracecap N] [-http addr] [-httpwait]
+//	        [file.bb ... | -example]
 //
 // Reads the program from the named file, or stdin, or uses the paper's
-// Figure 1 example with -example.
+// Figure 1 example with -example. Several files schedule concurrently
+// across -j workers with byte-identical output for any worker count.
+// -trace records the scheduler decision stream (Perfetto-loadable
+// trace_event JSON, or JSON Lines with a .jsonl path) and -http serves
+// Prometheus metrics, expvar, and pprof; see OBSERVABILITY.md.
 package main
 
 import (

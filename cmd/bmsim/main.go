@@ -7,12 +7,16 @@
 //
 //	bmsim [-procs 8] [-machine sbm|dbm] [-runs 20] [-seed 0] [-gantt]
 //	      [-policy random|min|max] [-seeds N]
+//	      [-trace out.json] [-tracecap N] [-http addr] [-httpwait]
 //	      [-stmts 40 -vars 10 | file.bb]
 //
 // Without a file argument, a synthetic benchmark is generated. With
 // -seeds N, the compiled plan additionally sweeps N seeds across all
 // cores and reports the min/median/max finish time plus the plan and
-// scratch-pool amortization counters.
+// scratch-pool amortization counters. -trace records the
+// scheduler/simulator event stream (Perfetto-loadable trace_event JSON,
+// or JSON Lines with a .jsonl path) and -http serves Prometheus metrics,
+// expvar, and pprof while the tool runs; see OBSERVABILITY.md.
 package main
 
 import (

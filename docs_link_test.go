@@ -1,0 +1,69 @@
+package barriermimd_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches [text](target) links, including image links.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocsRelativeLinks walks every Markdown file in the repository and
+// checks that each relative link target exists, so renames and deletions
+// cannot silently orphan the documentation cross-references
+// (README → OBSERVABILITY/EXPERIMENTS/DESIGN and back).
+func TestDocsRelativeLinks(t *testing.T) {
+	var docs []string
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if strings.HasPrefix(d.Name(), ".") && path != "." {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.EqualFold(filepath.Ext(path), ".md") {
+			docs = append(docs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) == 0 {
+		t.Fatal("no Markdown files found")
+	}
+
+	checked := 0
+	for _, doc := range docs {
+		raw, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(raw), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external; not checked offline
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue // pure in-page anchor
+			}
+			rel := filepath.Join(filepath.Dir(doc), filepath.FromSlash(target))
+			if _, err := os.Stat(rel); err != nil {
+				t.Errorf("%s: broken relative link %q (%v)", doc, m[1], err)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Error("no relative links checked; the docs should cross-reference each other")
+	}
+}

@@ -59,6 +59,89 @@ func ExampleParseCF() {
 	// 5! = 120
 }
 
+// ExampleCompileSim compiles a schedule into one simulation plan and
+// sweeps many seeds through it — the compile-once/run-many path used by
+// every repeat-simulation consumer. Every random execution lands inside
+// the static [min,max] span, and the extreme policies attain its bounds
+// exactly.
+func ExampleCompileSim() {
+	sched, err := barriermimd.ScheduleSource("c = a + b\nd = c * c\ne = d - a",
+		barriermimd.DefaultOptions(2))
+	if err != nil {
+		panic(err)
+	}
+	plan, err := barriermimd.CompileSim(sched, barriermimd.SBM)
+	if err != nil {
+		panic(err)
+	}
+	lo, hi, err := sched.StaticSpan()
+	if err != nil {
+		panic(err)
+	}
+	inSpan := true
+	for seed := int64(0); seed < 100; seed++ {
+		r, err := plan.Run(barriermimd.SimConfig{Policy: barriermimd.RandomTimes, Seed: seed})
+		if err != nil {
+			panic(err)
+		}
+		inSpan = inSpan && r.FinishTime >= lo && r.FinishTime <= hi && r.CheckDependences() == nil
+		r.Release()
+	}
+	rmin, err := plan.Run(barriermimd.SimConfig{Policy: barriermimd.MinTimes})
+	if err != nil {
+		panic(err)
+	}
+	rmax, err := plan.Run(barriermimd.SimConfig{Policy: barriermimd.MaxTimes})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(inSpan, rmin.FinishTime == lo, rmax.FinishTime == hi)
+	rmin.Release()
+	rmax.Release()
+	// Output:
+	// true true true
+}
+
+// ExampleScheduleBatch_trace schedules several DAGs concurrently with a
+// trace recorder attached. Per-item event streams are replayed in item
+// order, so the merged trace is identical for every Parallelism value;
+// each item contributes exactly one sched-done event.
+func ExampleScheduleBatch_trace() {
+	var graphs []*barriermimd.Graph
+	for _, src := range []string{"c = a + b", "f = d * e\ng = f - d", "x = y % z"} {
+		p, err := barriermimd.Parse(src)
+		if err != nil {
+			panic(err)
+		}
+		b, err := barriermimd.Compile(p)
+		if err != nil {
+			panic(err)
+		}
+		g, err := barriermimd.BuildDAG(b)
+		if err != nil {
+			panic(err)
+		}
+		graphs = append(graphs, g)
+	}
+	opts := barriermimd.DefaultOptions(2)
+	opts.Parallelism = 4
+	ring := barriermimd.NewTraceRing(1 << 12)
+	opts.Recorder = ring
+	scheds, err := barriermimd.ScheduleBatch(graphs, opts)
+	if err != nil {
+		panic(err)
+	}
+	done := 0
+	for _, ev := range ring.Events() {
+		if ev.Kind == barriermimd.TraceSchedDone {
+			done++
+		}
+	}
+	fmt.Println(len(scheds), done == len(graphs))
+	// Output:
+	// 3 true
+}
+
 // ExampleGenerate shows deterministic synthetic benchmark generation.
 func ExampleGenerate() {
 	p1, _ := barriermimd.Generate(barriermimd.GenConfig{Statements: 5, Variables: 3}, 7)

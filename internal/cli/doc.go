@@ -13,4 +13,12 @@
 //
 // bmsched and bmexp accept -j (worker count), -cpuprofile, and -memprofile;
 // reports and exported schedules are byte-identical for every -j value.
+//
+// The three heavy tools share the observability flags of internal/obsv:
+// -http serves /metrics (Prometheus, assembled by DefaultRegistry),
+// /debug/vars, and /debug/pprof while the tool runs (-httpwait keeps
+// serving afterwards), and bmsim/bmsched accept -trace/-tracecap to
+// record the scheduler/simulator event stream as Chrome trace_event JSON
+// for Perfetto or JSON Lines. The schema is documented in
+// OBSERVABILITY.md.
 package cli

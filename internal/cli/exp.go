@@ -26,8 +26,13 @@ func Exp(args []string, stdout, stderr io.Writer) int {
 	list := fs.Bool("list", false, "list available experiments")
 	csvDir := fs.String("csv", "", "also write <experiment>.csv series files into this directory")
 	simStats := fs.String("simstats", "", "write simulation throughput counters (plans/runs/pool hit rate) as JSON to this file")
+	obsvf := addObsvFlags(fs, false)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	session, oerr := obsvf.begin(stderr)
+	if oerr != nil {
+		return fail(stderr, "bmexp", oerr)
 	}
 
 	if *list {
@@ -104,6 +109,9 @@ func Exp(args []string, stdout, stderr io.Writer) int {
 			return fail(stderr, "bmexp", err)
 		}
 		fmt.Fprintf(stdout, "[sim stats written to %s: %s]\n", *simStats, st.String())
+	}
+	if err := session.finish(stderr); err != nil {
+		return fail(stderr, "bmexp", err)
 	}
 	return finishProfiles()
 }

@@ -29,14 +29,19 @@ func Sched(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	gantt := fs.Bool("gantt", false, "also print a simulated-execution Gantt chart")
 	asJSON := fs.Bool("json", false, "emit the schedule as JSON instead of text")
 	asDot := fs.String("dot", "", "emit Graphviz dot instead of text: dag or barriers")
+	obsvf := addObsvFlags(fs, true)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	session, err := obsvf.begin(stderr)
+	if err != nil {
+		return fail(stderr, "bmsched", err)
 	}
 
 	opts := core.DefaultOptions(*procs)
 	opts.Seed = *seed
 	opts.Parallelism = *workers
-	var err error
+	opts.Recorder = session.recorder()
 	if opts.Machine, err = parseMachine(*machineName); err != nil {
 		return fail(stderr, "bmsched", err)
 	}
@@ -51,6 +56,9 @@ func Sched(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	code := schedMain(fs, opts, stdin, stdout, stderr, *example, *listing, *gantt, *asJSON, *asDot, *seed)
 	if perr := stopProfiles(); perr != nil && code == 0 {
 		return fail(stderr, "bmsched", perr)
+	}
+	if oerr := session.finish(stderr); oerr != nil && code == 0 {
+		return fail(stderr, "bmsched", oerr)
 	}
 	return code
 }

@@ -8,13 +8,16 @@ import (
 
 	"barriermimd/internal/core"
 	"barriermimd/internal/machine"
+	"barriermimd/internal/obsv"
 	"barriermimd/internal/pool"
 	"barriermimd/internal/synth"
 )
 
-// printGantt simulates one random execution and prints its timeline.
+// printGantt simulates one random execution and prints its timeline. The
+// run inherits the schedule's trace recorder (if any), so a -trace file
+// captures its barrier firings too.
 func printGantt(s *core.Schedule, seed int64, stdout, stderr io.Writer) int {
-	run, err := machine.Run(s, machine.Config{Policy: machine.RandomTimes, Seed: seed})
+	run, err := machine.Run(s, machine.Config{Policy: machine.RandomTimes, Seed: seed, Recorder: s.Opts.Recorder})
 	if err != nil {
 		return fail(stderr, "gantt", err)
 	}
@@ -39,13 +42,18 @@ func Sim(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	stmts := fs.Int("stmts", 40, "synthetic benchmark statements (no file given)")
 	vars := fs.Int("vars", 10, "synthetic benchmark variables (no file given)")
 	gantt := fs.Bool("gantt", false, "print a Gantt chart of the first execution")
+	obsvf := addObsvFlags(fs, true)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	session, err := obsvf.begin(stderr)
+	if err != nil {
+		return fail(stderr, "bmsim", err)
 	}
 
 	opts := core.DefaultOptions(*procs)
 	opts.Seed = *seed
-	var err error
+	opts.Recorder = session.recorder()
 	if opts.Machine, err = parseMachine(*machineName); err != nil {
 		return fail(stderr, "bmsim", err)
 	}
@@ -96,8 +104,9 @@ func Sim(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	violations := 0
 	for r := 0; r < *runs; r++ {
 		res, err := plan.Run(machine.Config{
-			Policy: policy,
-			Seed:   *seed + int64(r),
+			Policy:   policy,
+			Seed:     *seed + int64(r),
+			Recorder: session.recorder(),
 		})
 		if err != nil {
 			return fail(stderr, "bmsim", err)
@@ -124,7 +133,7 @@ func Sim(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "\nall %d executions satisfied every dependence within [%d,%d]\n", *runs, mn, mx)
 
 	if *seeds > 0 {
-		finishes, err := sweepSeeds(plan, policy, *seed, *seeds)
+		finishes, err := sweepSeeds(plan, policy, *seed, *seeds, session.recorder())
 		if err != nil {
 			return fail(stderr, "bmsim", err)
 		}
@@ -135,16 +144,36 @@ func Sim(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			finishes[0], finishes[len(finishes)/2], finishes[len(finishes)-1])
 		fmt.Fprintf(stdout, "sim stats: %s\n", st.String())
 	}
+	if err := session.finish(stderr); err != nil {
+		return fail(stderr, "bmsim", err)
+	}
 	return 0
 }
 
 // sweepSeeds runs the plan once per seed across the worker pool and
 // returns the finish times sorted ascending. The plan is shared: only the
 // per-run scratch (drawn from the plan's pool) is private to a worker.
-func sweepSeeds(plan *machine.Plan, policy machine.Policy, base int64, n int) ([]int, error) {
+//
+// With a non-nil recorder, every seed records into a private ring sized
+// for exactly one run's events, and the rings are replayed in seed order
+// after the sweep — the merged stream is byte-identical for every worker
+// count.
+func sweepSeeds(plan *machine.Plan, policy machine.Policy, base int64, n int, rec obsv.Recorder) ([]int, error) {
+	var rings []*obsv.Ring
+	if rec != nil {
+		perRun := plan.NumBarriers() + 2 // run-start + fired barriers + run-end
+		rings = make([]*obsv.Ring, n)
+		for i := range rings {
+			rings[i] = obsv.NewRing(perRun)
+		}
+	}
 	finishes := make([]int, n)
 	err := pool.ForEach(0, n, func(i int) error {
-		res, err := plan.Run(machine.Config{Policy: policy, Seed: base + int64(i)})
+		cfg := machine.Config{Policy: policy, Seed: base + int64(i)}
+		if rings != nil {
+			cfg.Recorder = rings[i]
+		}
+		res, err := plan.Run(cfg)
 		if err != nil {
 			return err
 		}
@@ -154,6 +183,9 @@ func sweepSeeds(plan *machine.Plan, policy machine.Policy, base int64, n int) ([
 	})
 	if err != nil {
 		return nil, err
+	}
+	for _, r := range rings {
+		r.ReplayInto(rec)
 	}
 	sort.Ints(finishes)
 	return finishes, nil

@@ -5,8 +5,14 @@ import (
 
 	"barriermimd/internal/dag"
 	"barriermimd/internal/metrics"
+	"barriermimd/internal/obsv"
 	"barriermimd/internal/pool"
 )
+
+// batchTraceCap bounds the per-item trace ring a traced batch gives each
+// worker; only the newest events of a pathologically chatty item are
+// kept (the drop is counted, never silent).
+const batchTraceCap = 1 << 14
 
 // ScheduleBatch schedules every DAG in gs, fanning independent runs
 // across up to opts.Parallelism worker goroutines (0 = GOMAXPROCS).
@@ -17,14 +23,29 @@ import (
 // (gs[i], opts, i): batches are byte-identical across Parallelism values
 // and across runs. Results are written index-addressed; out[i] is the
 // schedule of gs[i].
+//
+// When opts.Recorder is non-nil, every item records into a private ring
+// and the rings are replayed into opts.Recorder in item order after all
+// workers finish, so the merged trace stream is as deterministic as the
+// schedules themselves.
 func ScheduleBatch(gs []*dag.Graph, opts Options) ([]*Schedule, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
+	}
+	var rings []*obsv.Ring
+	if opts.Recorder != nil {
+		rings = make([]*obsv.Ring, len(gs))
+		for i := range rings {
+			rings[i] = obsv.NewRing(batchTraceCap)
+		}
 	}
 	out := make([]*Schedule, len(gs))
 	err := pool.ForEach(opts.Parallelism, len(gs), func(i int) error {
 		o := opts
 		o.Seed = opts.Seed + int64(i)
+		if rings != nil {
+			o.Recorder = rings[i]
+		}
 		s, err := ScheduleDAG(gs[i], o)
 		if err != nil {
 			return fmt.Errorf("core: batch item %d: %w", i, err)
@@ -34,6 +55,9 @@ func ScheduleBatch(gs []*dag.Graph, opts Options) ([]*Schedule, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	for _, r := range rings {
+		r.ReplayInto(opts.Recorder)
 	}
 	return out, nil
 }

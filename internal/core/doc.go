@@ -19,4 +19,17 @@
 // barrier for it (Metrics.RepairedPairs counts these). The discrete-event
 // simulator in internal/machine validates the resulting schedules end to
 // end under randomized instruction timings.
+//
+// # Observability
+//
+// Options.Recorder attaches an internal/obsv trace recorder: every
+// committed scheduling decision — barrier insertions, merges, rejections,
+// rollbacks, pair repairs, dag patches and rebuilds — is emitted as a
+// deterministic structured event (speculative probes record nothing).
+// ScheduleBatch gives each item a private ring and replays them in item
+// order, so the merged stream is byte-identical for every Parallelism
+// value. Recording never changes results, and a nil Recorder costs one
+// nil check per site. StageStats aggregates per-stage wall-time
+// histograms across all ScheduleDAG calls for the exposition endpoint.
+// The event schema is documented in OBSERVABILITY.md.
 package core

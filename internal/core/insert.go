@@ -7,6 +7,7 @@ import (
 
 	"barriermimd/internal/bdag"
 	"barriermimd/internal/ir"
+	"barriermimd/internal/obsv"
 )
 
 // errWouldCycle rejects a tentative barrier placement that would create a
@@ -365,6 +366,7 @@ func (s *scheduler) insertBarrierDepth(g, i int, pt pairTiming, depth int) error
 		if err := s.applyBarrier(id, P, pos, C, ci); err != nil {
 			undoID()
 			if errors.Is(err, errWouldCycle) {
+				s.record(obsv.KindRollback, int64(id), 0, 0)
 				return false, nil
 			}
 			return false, err
@@ -374,8 +376,15 @@ func (s *scheduler) insertBarrierDepth(g, i int, pt pairTiming, depth int) error
 		} else if found {
 			s.unapplyBarrier(P, pos, C, ci)
 			undoID()
+			s.record(obsv.KindRollback, int64(id), 0, 0)
 			return false, nil
 		}
+		if !s.opts.ForceRebuild {
+			// A committed insertion patched the barrier dag in place; under
+			// ForceRebuild the rebuild already emitted its own event.
+			s.record(obsv.KindGraphPatch, int64(id), 0, 0)
+		}
+		s.record(obsv.KindBarrierInsert, int64(id), int64(P), int64(C))
 		return true, nil
 	}
 
@@ -462,6 +471,7 @@ func (s *scheduler) forceProtect(pr pairRec, depth int) error {
 		return nil // already ordered by barriers
 	}
 	s.mx.RepairedPairs++
+	s.record(obsv.KindRepair, int64(pr.g), int64(pr.i), 0)
 	return s.insertBarrierDepth(pr.g, pr.i, pt, depth-1)
 }
 
@@ -636,6 +646,7 @@ func (s *scheduler) mergePass() error {
 					s.restoreSnapshot()
 					s.mx.MergedBarriers--
 					rejected[[2]int{a, b}] = true
+					s.record(obsv.KindMergeReject, int64(a), int64(b), 0)
 					continue
 				}
 				if _, found, err := s.findInvertedPending(); err != nil {
@@ -644,9 +655,11 @@ func (s *scheduler) mergePass() error {
 					s.restoreSnapshot()
 					s.mx.MergedBarriers--
 					rejected[[2]int{a, b}] = true
+					s.record(obsv.KindMergeReject, int64(a), int64(b), 0)
 					continue
 				}
 				merged = true
+				s.record(obsv.KindBarrierMerge, int64(a), int64(b), int64(len(s.parts[a])))
 			}
 		}
 		if !merged {
@@ -740,6 +753,7 @@ func (s *scheduler) verifyRepair() error {
 				remaining = append(remaining, pr)
 			case chkBarrier:
 				s.mx.RepairedPairs++
+				s.record(obsv.KindRepair, int64(pr.g), int64(pr.i), 0)
 				// Commit the watch list (without pr) before mutating the
 				// schedule, so recursive protection sees a consistent,
 				// non-aliased list; then restart from fresh state.

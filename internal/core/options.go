@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math/rand"
+
+	"barriermimd/internal/obsv"
 )
 
 // MachineKind selects static or dynamic barrier MIMD scheduling. The only
@@ -145,6 +147,15 @@ type Options struct {
 	// per-processor timeline state against a from-scratch rebuild after
 	// every patch. Expensive; intended for tests.
 	SelfCheck bool
+	// Recorder, when non-nil, receives a structured trace event for every
+	// scheduler decision (barrier insertions, merges, rollbacks, repairs,
+	// dag patches and rebuilds; see internal/obsv and OBSERVABILITY.md).
+	// Events carry only deterministic data, so for a fixed Seed the stream
+	// is identical across runs. A nil Recorder leaves the hot path
+	// untouched. ScheduleBatch records each DAG into a private ring and
+	// replays the rings in item order, so batch streams are deterministic
+	// at every Parallelism value too.
+	Recorder obsv.Recorder
 }
 
 // DefaultOptions returns the paper's default configuration on n processors.

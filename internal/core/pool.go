@@ -53,6 +53,8 @@ func newScheduler(g *dag.Graph, opts Options) *scheduler {
 	s.sc.allProcs = fillProcs(s.sc.allProcs, p)
 	s.sc.seenProc = resizeBools(s.sc.seenProc, p)
 	clear(s.sc.seenProc)
+	s.rec = opts.Recorder
+	s.placed = 0
 	return s
 }
 
@@ -75,6 +77,8 @@ func (s *scheduler) release() {
 	s.idom = nil
 	s.mx = Metrics{}
 	s.clock = metrics.StageClock{}
+	s.rec = nil
+	s.opts = Options{}
 	schedulerPool.Put(s)
 }
 

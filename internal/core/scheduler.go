@@ -10,6 +10,7 @@ import (
 	"barriermimd/internal/dag"
 	"barriermimd/internal/ir"
 	"barriermimd/internal/metrics"
+	"barriermimd/internal/obsv"
 )
 
 // ScheduleDAG schedules the instruction DAG g onto a barrier MIMD
@@ -94,6 +95,34 @@ type scheduler struct {
 	timingPairs []pairRec
 	mx          Metrics
 	clock       metrics.StageClock
+
+	// rec mirrors opts.Recorder (nil = tracing disabled); placed counts
+	// scheduled list entries and is the logical clock scheduler trace
+	// events carry as their Tick.
+	rec    obsv.Recorder
+	placed int
+}
+
+// record emits one scheduler trace event. With tracing disabled this is
+// a single nil check; events carry the placement progress as their
+// logical time and never wall-clock time, keeping streams deterministic.
+func (s *scheduler) record(k obsv.Kind, a0, a1, a2 int64) {
+	if s.rec == nil {
+		return
+	}
+	s.rec.Record(obsv.Event{Kind: k, Tick: int64(s.placed), Arg0: a0, Arg1: a1, Arg2: a2})
+}
+
+// liveBarriers counts barriers not merged away (including the initial
+// barrier); used only when emitting rebuild trace events.
+func (s *scheduler) liveBarriers() int64 {
+	var n int64
+	for _, ps := range s.parts {
+		if ps != nil {
+			n++
+		}
+	}
+	return n
 }
 
 // listOrder computes the scheduling list of section 4.2: real nodes sorted
@@ -194,6 +223,7 @@ func (s *scheduler) place(k, n int, order []int) error {
 		}
 	}
 	s.appendNode(p, n)
+	s.placed++
 
 	// Check every cross-processor producer, in ascending node order for
 	// determinism. Earlier insertions sharpen the timing of later checks
@@ -462,6 +492,10 @@ func (s *scheduler) ensureGraph() error {
 	s.bgSpare, s.bnodeSpare = s.bg, s.bnode
 	s.bg, s.bnode, s.idom = bg, bnode, idom
 	s.dirty = false
+	if s.rec != nil {
+		s.record(obsv.KindGraphRebuild, s.liveBarriers(), 0, 0)
+		s.record(obsv.KindCacheStats, int64(s.mx.PathCache.Hits), int64(s.mx.PathCache.Misses), 0)
+	}
 	return nil
 }
 
@@ -560,11 +594,16 @@ func (s *scheduler) finish() (*Schedule, error) {
 	if err := sched.Validate(); err != nil {
 		return nil, err
 	}
+	if s.rec != nil {
+		s.record(obsv.KindCacheStats, int64(s.mx.PathCache.Hits), int64(s.mx.PathCache.Misses), 0)
+		s.record(obsv.KindSchedDone, int64(s.mx.Barriers), int64(s.mx.MergedBarriers), int64(s.mx.RepairedPairs))
+	}
 	// The Schedule gets a copied clock header: it shares this run's
 	// accumulated stage map, but release detaches the scheduler from that
 	// backing, so a pooled reuse can never mutate it. The copy happens
 	// after the final Observe so "finalize" is already in the shared map.
 	s.clock.Observe("finalize", time.Since(start))
+	mergeStageStats(&s.clock)
 	ck := s.clock
 	sched.Metrics.Stages = &ck
 	return sched, nil

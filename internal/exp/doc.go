@@ -10,5 +10,6 @@
 // runs. Trials run concurrently across Config.Workers workers (bmexp -j),
 // with each trial's seed derived only from the base seed and trial index,
 // so every report is bit-identical in Config.Seed regardless of worker
-// count.
+// count. Stages aggregates per-experiment wall time (histograms across
+// all Run calls) for the bmexp -http exposition endpoint.
 package exp

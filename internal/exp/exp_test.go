@@ -452,3 +452,21 @@ func TestCFStudy(t *testing.T) {
 		t.Error("render missing title")
 	}
 }
+
+func TestRunChargesStageClock(t *testing.T) {
+	ResetStages()
+	if _, err := Run("table1", Config{Runs: 2, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	sc := Stages()
+	if h := sc.Hist("table1"); h == nil || h.Count != 1 {
+		t.Fatalf("table1 stage hist: %+v", h)
+	}
+	if sc.Total("table1") <= 0 {
+		t.Error("table1 charged no wall time")
+	}
+	ResetStages()
+	if len(Stages().Names()) != 0 {
+		t.Error("ResetStages left stages behind")
+	}
+}

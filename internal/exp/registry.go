@@ -3,6 +3,10 @@ package exp
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"time"
+
+	"barriermimd/internal/metrics"
 )
 
 // Renderer is a finished experiment that can format itself for the
@@ -61,11 +65,41 @@ func Names() []string {
 // Describe returns the one-line description of an experiment.
 func Describe(name string) string { return registry[name].about }
 
-// Run executes a registered experiment by name.
+// Run executes a registered experiment by name, charging its wall time
+// to the process-wide per-experiment clock behind Stages.
 func Run(name string, cfg Config) (Renderer, error) {
 	r, ok := registry[name]
 	if !ok {
 		return nil, fmt.Errorf("exp: unknown experiment %q (have %v)", name, Names())
 	}
-	return r.run(cfg)
+	start := time.Now()
+	out, err := r.run(cfg)
+	d := time.Since(start)
+	stageMu.Lock()
+	stageAgg.Observe(name, d)
+	stageMu.Unlock()
+	return out, err
+}
+
+// Process-wide per-experiment wall-time aggregate; one Observe per Run
+// call, so the mutex is uncontended in practice.
+var (
+	stageMu  sync.Mutex
+	stageAgg metrics.StageClock
+)
+
+// Stages snapshots the per-experiment wall-time totals and latency
+// histograms accumulated across every Run call in this process. The
+// snapshot shares no state with the aggregate.
+func Stages() *metrics.StageClock {
+	stageMu.Lock()
+	defer stageMu.Unlock()
+	return stageAgg.Clone()
+}
+
+// ResetStages zeroes the per-experiment aggregate (tests).
+func ResetStages() {
+	stageMu.Lock()
+	defer stageMu.Unlock()
+	stageAgg = metrics.StageClock{}
 }

@@ -30,4 +30,16 @@
 // warm run-and-release cycle performs no allocations. Plan.Run results are
 // byte-identical to Run/RunAs (enforced by regression test), and Stats
 // reports the process-wide plan/run/pool counters.
+//
+// # Observability
+//
+// Config.Recorder attaches an internal/obsv trace recorder; both
+// execution paths emit the same deterministic stream per run — run-start,
+// one barrier-fire per firing at its simulated time, run-end — so traces
+// are comparable across the compiled and reference paths. A nil Recorder
+// costs one nil check, preserving the zero-allocation warm path; a
+// pre-sized ring keeps even traced runs allocation-free.
+// EnableRunTiming gates wall-clock run-latency histograms (RunLatency,
+// per machine kind) separately, since timing is the one measurement that
+// cannot be free. The schema is documented in OBSERVABILITY.md.
 package machine

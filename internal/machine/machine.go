@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"barriermimd/internal/core"
+	"barriermimd/internal/obsv"
 )
 
 // Policy selects how instruction durations are drawn within their
@@ -49,6 +50,13 @@ type Config struct {
 	// the companion hardware paper [OKDi90] motivates exploring small
 	// nonzero costs, which the barrier-cost sensitivity experiment does.
 	BarrierCost int
+	// Recorder, when non-nil, receives a structured trace event at run
+	// start, per barrier firing (at its simulated fire time), and at run
+	// end (see internal/obsv and OBSERVABILITY.md). Events carry simulated
+	// time only, so streams are deterministic for a fixed (Policy, Seed,
+	// BarrierCost); the legacy Run/RunAs path and Plan.Run emit identical
+	// streams. A nil Recorder leaves the hot path untouched.
+	Recorder obsv.Recorder
 }
 
 // Result holds the outcome of a simulation. Barrier firing times are
@@ -232,6 +240,11 @@ func run(s *core.Schedule, kind core.MachineKind, cfg Config) (*Result, error) {
 		}
 	}
 
+	if cfg.Recorder != nil {
+		cfg.Recorder.Record(obsv.Event{Kind: obsv.KindRunStart,
+			Arg0: cfg.Seed, Arg1: int64(cfg.Policy), Arg2: int64(cfg.BarrierCost)})
+	}
+
 	procs := make([]procState, len(s.Procs))
 	for p := range procs {
 		procs[p].blocked = -1
@@ -276,6 +289,10 @@ func run(s *core.Schedule, kind core.MachineKind, cfg Config) (*Result, error) {
 		}
 		res.fireTime[denseIndex(res.barIDs, id)] = t
 		res.FireOrder = append(res.FireOrder, id)
+		if cfg.Recorder != nil {
+			cfg.Recorder.Record(obsv.Event{Kind: obsv.KindBarrierFire, Tick: int64(t),
+				Arg0: int64(id), Arg1: int64(len(s.Participants[id]))})
+		}
 		return nil
 	}
 
@@ -357,6 +374,10 @@ func run(s *core.Schedule, kind core.MachineKind, cfg Config) (*Result, error) {
 		if procs[p].time > res.FinishTime {
 			res.FinishTime = procs[p].time
 		}
+	}
+	if cfg.Recorder != nil {
+		cfg.Recorder.Record(obsv.Event{Kind: obsv.KindRunEnd,
+			Tick: int64(res.FinishTime), Arg0: int64(res.FinishTime)})
 	}
 	return res, nil
 }

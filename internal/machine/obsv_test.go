@@ -1,0 +1,183 @@
+package machine
+
+import (
+	"bytes"
+	"testing"
+
+	"barriermimd/internal/core"
+	"barriermimd/internal/obsv"
+)
+
+// TestPlanTraceMatchesLegacy extends the plan-vs-oracle equivalence to
+// the trace stream: the compiled path and the legacy per-run path must
+// emit byte-identical events for the same configuration.
+func TestPlanTraceMatchesLegacy(t *testing.T) {
+	for _, kind := range []core.MachineKind{core.SBM, core.DBM} {
+		s := schedule(t, 40, 8, 4, 3, kind)
+		plan, err := Compile(s, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cfg := range []Config{
+			{Policy: RandomTimes, Seed: 9},
+			{Policy: MaxTimes, BarrierCost: 2},
+		} {
+			legacy, fast := obsv.NewRing(1<<12), obsv.NewRing(1<<12)
+
+			lcfg := cfg
+			lcfg.Recorder = legacy
+			if _, err := RunAs(s, kind, lcfg); err != nil {
+				t.Fatal(err)
+			}
+			fcfg := cfg
+			fcfg.Recorder = fast
+			res, err := plan.Run(fcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res.Release()
+
+			var lb, fb bytes.Buffer
+			if err := obsv.WriteJSONL(&lb, legacy); err != nil {
+				t.Fatal(err)
+			}
+			if err := obsv.WriteJSONL(&fb, fast); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(lb.Bytes(), fb.Bytes()) {
+				t.Errorf("%v %v: legacy and plan traces differ:\nlegacy:\n%s\nplan:\n%s",
+					kind, cfg.Policy, lb.String(), fb.String())
+			}
+			if legacy.Len() < 2 {
+				t.Errorf("%v: only %d events (want run-start + fires + run-end)", kind, legacy.Len())
+			}
+		}
+	}
+}
+
+// TestPlanTraceEventShape checks the per-run stream structure: exactly
+// one run-start and one run-end, firings in FireOrder with their real
+// fire times, and the run-end tick equal to the finish time.
+func TestPlanTraceEventShape(t *testing.T) {
+	s := schedule(t, 40, 8, 4, 5, core.DBM)
+	plan, err := Compile(s, core.DBM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := obsv.NewRing(1 << 12)
+	res, err := plan.Run(Config{Policy: RandomTimes, Seed: 4, Recorder: ring})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := ring.Events()
+	if evs[0].Kind != obsv.KindRunStart || evs[0].Arg0 != 4 {
+		t.Fatalf("first event: %v", evs[0])
+	}
+	last := evs[len(evs)-1]
+	if last.Kind != obsv.KindRunEnd || last.Tick != int64(res.FinishTime) {
+		t.Fatalf("last event: %v (finish %d)", last, res.FinishTime)
+	}
+	fires := evs[1 : len(evs)-1]
+	if len(fires) != len(res.FireOrder) {
+		t.Fatalf("%d fire events, %d fired barriers", len(fires), len(res.FireOrder))
+	}
+	for i, ev := range fires {
+		if ev.Kind != obsv.KindBarrierFire {
+			t.Fatalf("event %d is %v", i+1, ev.Kind)
+		}
+		id := res.FireOrder[i]
+		if ev.Arg0 != int64(id) {
+			t.Errorf("fire %d: barrier %d, FireOrder says %d", i, ev.Arg0, id)
+		}
+		if ft, ok := res.FireTimeOf(id); !ok || ev.Tick != int64(ft) {
+			t.Errorf("fire %d: tick %d, FireTimeOf(%d) = %d,%v", i, ev.Tick, id, ft, ok)
+		}
+		if ev.Arg1 != int64(len(res.Schedule.Participants[id])) {
+			t.Errorf("fire %d: participants %d, schedule says %d", i, ev.Arg1, len(res.Schedule.Participants[id]))
+		}
+	}
+	res.Release()
+}
+
+// TestPlanRunAllocsWithRecorder extends the warm-path pin: recording
+// into a pre-sized ring must keep the run-and-release cycle at zero
+// allocations.
+func TestPlanRunAllocsWithRecorder(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; pin only holds without -race")
+	}
+	s := schedule(t, 50, 10, 8, 5, core.SBM)
+	plan, err := Compile(s, core.SBM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := obsv.NewRing(plan.NumBarriers() + 2)
+	cfg := Config{Policy: RandomTimes, Seed: 11, Recorder: ring}
+	for i := 0; i < 3; i++ {
+		r, err := plan.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Release()
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		ring.Reset()
+		r, err := plan.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Release()
+	})
+	if allocs != 0 {
+		t.Fatalf("traced warm run allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestRunTimingGate checks the opt-in latency histograms: nothing is
+// recorded while the gate is off, runs are counted per machine kind
+// while it is on.
+func TestRunTimingGate(t *testing.T) {
+	s := schedule(t, 30, 8, 4, 2, core.SBM)
+	plan, err := Compile(s, core.SBM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ResetRunLatency()
+	EnableRunTiming(false)
+	r, err := plan.Run(Config{Policy: MinTimes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Release()
+	if h := RunLatency(int(core.SBM)); h.Count != 0 {
+		t.Fatalf("gate off but %d observations recorded", h.Count)
+	}
+
+	EnableRunTiming(true)
+	defer EnableRunTiming(false)
+	if !RunTimingEnabled() {
+		t.Fatal("gate did not report enabled")
+	}
+	const runs = 5
+	for i := 0; i < runs; i++ {
+		r, err := plan.Run(Config{Policy: RandomTimes, Seed: int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Release()
+	}
+	h := RunLatency(int(core.SBM))
+	if h.Count != runs {
+		t.Fatalf("gate on: %d observations, want %d", h.Count, runs)
+	}
+	if h.Sum <= 0 {
+		t.Error("gate on: zero total latency")
+	}
+	if RunLatency(99).Count != 0 {
+		t.Error("out-of-range kind must return an empty histogram")
+	}
+	ResetRunLatency()
+	if RunLatency(int(core.SBM)).Count != 0 {
+		t.Error("ResetRunLatency did not clear")
+	}
+}

@@ -5,8 +5,10 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"time"
 
 	"barriermimd/internal/core"
+	"barriermimd/internal/obsv"
 )
 
 // Plan is a schedule lowered into flat arrays for repeated simulation:
@@ -243,6 +245,7 @@ func (p *Plan) partCount(d int32) int32 { return p.partStart[d+1] - p.partStart[
 type scratch struct {
 	plan *Plan
 	rng  *rand.Rand
+	rec  obsv.Recorder // cfg.Recorder for the run in flight, nil otherwise
 
 	dur      []int32 // drawn durations per node
 	clock    []int   // local clocks per processor
@@ -290,8 +293,13 @@ func (p *Plan) getScratch() *scratch {
 }
 
 // release parks the scratch (and the Result embedded in it) back in the
-// plan's pool. Called by Result.Release and by Run's error paths.
-func (sc *scratch) release() { sc.plan.pool.Put(sc) }
+// plan's pool. Called by Result.Release and by Run's error paths. The
+// recorder reference is dropped so a pooled scratch cannot keep one
+// alive (or record into it) across runs.
+func (sc *scratch) release() {
+	sc.rec = nil
+	sc.plan.pool.Put(sc)
+}
 
 // reset prepares the scratch for a fresh run.
 func (sc *scratch) reset() {
@@ -319,8 +327,20 @@ func (sc *scratch) reset() {
 // Run/RunAs path for the same (kind, policy, seed, barrier cost); call
 // Result.Release when done with it to recycle its storage.
 func (p *Plan) Run(cfg Config) (*Result, error) {
+	// The wall-clock reads are gated: a run is microseconds, so even two
+	// time.Now calls would cost a measurable slice of its budget.
+	var t0 time.Time
+	timed := runTiming.Load()
+	if timed {
+		t0 = time.Now()
+	}
 	sc := p.getScratch()
 	sc.reset()
+	sc.rec = cfg.Recorder
+	if sc.rec != nil {
+		sc.rec.Record(obsv.Event{Kind: obsv.KindRunStart,
+			Arg0: cfg.Seed, Arg1: int64(cfg.Policy), Arg2: int64(cfg.BarrierCost)})
+	}
 
 	// Duration draw, identical to the legacy path: one policy-dependent
 	// value per node in node order, so a (Policy, Seed) pair denotes the
@@ -395,7 +415,15 @@ func (p *Plan) Run(cfg Config) (*Result, error) {
 			sc.res.FinishTime = sc.clock[pr]
 		}
 	}
+	if sc.rec != nil {
+		sc.rec.Record(obsv.Event{Kind: obsv.KindRunEnd,
+			Tick: int64(sc.res.FinishTime), Arg0: int64(sc.res.FinishTime)})
+		sc.rec = nil
+	}
 	simStats.runs.Add(1)
+	if timed {
+		runLatency[p.kind].Observe(time.Since(t0))
+	}
 	return &sc.res, nil
 }
 
@@ -446,6 +474,10 @@ func (sc *scratch) fire(d int32, cost int) {
 	t += cost
 	sc.res.fireTime[d] = t
 	sc.res.FireOrder = append(sc.res.FireOrder, p.barIDs[d])
+	if sc.rec != nil {
+		sc.rec.Record(obsv.Event{Kind: obsv.KindBarrierFire, Tick: int64(t),
+			Arg0: int64(p.barIDs[d]), Arg1: int64(p.partCount(d))})
+	}
 	for k := p.partStart[d]; k < p.partStart[d+1]; k++ {
 		pr := int(p.parts[k])
 		sc.clock[pr] = t

@@ -37,3 +37,36 @@ func ResetStats() {
 	simStats.hits.Store(0)
 	simStats.misses.Store(0)
 }
+
+// Run-latency measurement is opt-in: a µs-scale Plan.Run would pay a
+// measurable fraction of its budget on two time.Now calls, so the clock
+// reads are gated on an atomic flag the observability endpoint flips on.
+// The histograms themselves are always safe to snapshot.
+var (
+	runTiming  atomic.Bool
+	runLatency [2]metrics.AtomicHistogram // indexed by core.MachineKind
+)
+
+// EnableRunTiming turns wall-clock measurement of Plan.Run on or off
+// process-wide. Off (the default) costs the hot path one atomic load.
+func EnableRunTiming(on bool) { runTiming.Store(on) }
+
+// RunTimingEnabled reports whether Plan.Run latency is being measured.
+func RunTimingEnabled() bool { return runTiming.Load() }
+
+// RunLatency snapshots the per-run wall-time histogram of Plan.Run for
+// one machine kind (0 = SBM, 1 = DBM), populated only while
+// EnableRunTiming(true) is in effect.
+func RunLatency(kind int) metrics.Histogram {
+	if kind < 0 || kind >= len(runLatency) {
+		return metrics.Histogram{}
+	}
+	return runLatency[kind].Snapshot()
+}
+
+// ResetRunLatency zeroes the run-latency histograms (tests).
+func ResetRunLatency() {
+	for i := range runLatency {
+		runLatency[i].Reset()
+	}
+}

@@ -122,23 +122,32 @@ func (m MaintStats) String() string {
 }
 
 // StageClock accumulates wall-clock time per named pipeline stage
-// (ordering, placement, merging, verification, ...). The zero value is
-// ready to use. StageClock is not safe for concurrent use; give each
-// worker its own clock and Merge them.
+// (ordering, placement, merging, verification, ...), plus a fixed-bucket
+// latency Histogram of the individual observations of each stage. The
+// zero value is ready to use. After a stage's first observation the
+// record path is two map lookups and a bucket increment — no allocation.
+// StageClock is not safe for concurrent use; give each worker its own
+// clock and Merge them.
 type StageClock struct {
 	names []string
 	total map[string]time.Duration
+	hist  map[string]*Histogram
 }
 
-// Observe adds d to the named stage's total.
+// Observe adds d to the named stage's total and latency histogram.
 func (s *StageClock) Observe(name string, d time.Duration) {
 	if s.total == nil {
 		s.total = make(map[string]time.Duration)
+		s.hist = make(map[string]*Histogram)
 	}
-	if _, ok := s.total[name]; !ok {
+	h, ok := s.hist[name]
+	if !ok {
 		s.names = append(s.names, name)
+		h = new(Histogram)
+		s.hist[name] = h
 	}
 	s.total[name] += d
+	h.Observe(d)
 }
 
 // Time runs fn and charges its wall time to the named stage.
@@ -156,11 +165,45 @@ func (s *StageClock) Total(name string) time.Duration {
 // Names returns the stage names in first-observation order.
 func (s *StageClock) Names() []string { return s.names }
 
-// Merge accumulates another clock's stages into s.
+// Hist returns the latency histogram of one stage, or nil if the stage
+// has never been observed. The returned histogram is live: later
+// observations keep updating it.
+func (s *StageClock) Hist(name string) *Histogram { return s.hist[name] }
+
+// Merge accumulates another clock's stages — totals and histograms —
+// into s.
 func (s *StageClock) Merge(o *StageClock) {
 	for _, name := range o.names {
-		s.Observe(name, o.total[name])
+		s.observeHist(name, o.total[name], o.hist[name])
 	}
+}
+
+// observeHist merges one stage's foreign total and histogram. The total
+// is added as-is; the histogram is bucket-merged rather than re-observed,
+// preserving the distribution of the individual observations.
+func (s *StageClock) observeHist(name string, d time.Duration, oh *Histogram) {
+	if s.total == nil {
+		s.total = make(map[string]time.Duration)
+		s.hist = make(map[string]*Histogram)
+	}
+	h, ok := s.hist[name]
+	if !ok {
+		s.names = append(s.names, name)
+		h = new(Histogram)
+		s.hist[name] = h
+	}
+	s.total[name] += d
+	if oh != nil {
+		h.Add(oh)
+	}
+}
+
+// Clone deep-copies the clock: the copy shares no state with s, so a
+// snapshot taken for exposition cannot race with later observations.
+func (s *StageClock) Clone() *StageClock {
+	out := &StageClock{}
+	out.Merge(s)
+	return out
 }
 
 // String renders "stage=dur stage=dur ..." with stages sorted by

@@ -5,10 +5,16 @@
 // averaged").
 //
 // It also provides the engine-observability primitives threaded through
-// the scheduler: CacheStats counts hits and misses of the memoized
-// barrier-dag path queries (internal/bdag), and StageClock accumulates
-// wall time per scheduling stage (order, place, merge, verify, finalize).
-// Both are aggregates of nondeterministic measurements and are excluded
-// from exported schedules, which must stay byte-identical across worker
-// counts.
+// the scheduler and simulator: CacheStats counts hits and misses of the
+// memoized barrier-dag path queries (internal/bdag), MaintStats the
+// patch-vs-rebuild balance of incremental dag maintenance, SimStats the
+// simulation-plan throughput counters, and StageClock accumulates wall
+// time per scheduling stage (order, place, merge, verify, finalize) —
+// both as totals and as Histogram latency distributions. Histogram is an
+// allocation-free fixed-bucket (power-of-two nanosecond bounds) duration
+// histogram; AtomicHistogram is its concurrently-observable variant, used
+// for the simulator run-latency series exposed through internal/obsv.
+// All of these are aggregates of nondeterministic measurements and are
+// excluded from exported schedules and trace streams, which must stay
+// byte-identical across worker counts.
 package metrics

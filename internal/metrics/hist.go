@@ -1,0 +1,147 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// HistBuckets is the number of fixed latency buckets. Bucket i holds
+// observations d with upperBound(i-1) < d <= upperBound(i), where
+// upperBound(i) = 2^i nanoseconds; the last bucket is unbounded (+Inf).
+// Power-of-two bounds span 1ns .. ~34s in 36 buckets, an HDR-style layout
+// whose record path is a bit-length computation and one array increment —
+// no allocation, no search.
+const HistBuckets = 36
+
+// histBucketOf maps a nanosecond value to its bucket index.
+func histBucketOf(ns int64) int {
+	if ns <= 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(ns) - 1) // ceil(log2(ns))
+	if b >= HistBuckets {
+		return HistBuckets - 1
+	}
+	return b
+}
+
+// HistBucketBound returns the inclusive upper bound of bucket i in
+// nanoseconds, or math.MaxInt64 for the final (+Inf) bucket.
+func HistBucketBound(i int) int64 {
+	if i >= HistBuckets-1 {
+		return math.MaxInt64
+	}
+	return int64(1) << uint(i)
+}
+
+// Histogram is a fixed-bucket latency histogram. The zero value is ready
+// to use; Observe is allocation-free. Histogram is not safe for
+// concurrent use — give each worker its own and Add them, or use
+// AtomicHistogram for shared concurrent recording.
+type Histogram struct {
+	// Count is the number of observations; Sum their total in nanoseconds.
+	Count uint64
+	Sum   int64
+	// Bucket[i] counts observations in (HistBucketBound(i-1),
+	// HistBucketBound(i)].
+	Bucket [HistBuckets]uint64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.Count++
+	h.Sum += int64(d)
+	h.Bucket[histBucketOf(int64(d))]++
+}
+
+// Add accumulates another histogram into h.
+func (h *Histogram) Add(o *Histogram) {
+	h.Count += o.Count
+	h.Sum += o.Sum
+	for i := range h.Bucket {
+		h.Bucket[i] += o.Bucket[i]
+	}
+}
+
+// Mean returns the mean observation, or 0 with no observations.
+func (h *Histogram) Mean() time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	return time.Duration(h.Sum / int64(h.Count))
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (0 <= q <= 1):
+// the upper bucket bound of the first bucket at which the cumulative count
+// reaches q*Count. With no observations it returns 0.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(h.Count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.Bucket {
+		cum += c
+		if cum >= target {
+			b := HistBucketBound(i)
+			return time.Duration(b)
+		}
+	}
+	return time.Duration(HistBucketBound(HistBuckets - 1))
+}
+
+// String renders count, mean, and the p50/p95/p99 upper-bound estimates.
+func (h *Histogram) String() string {
+	if h.Count == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%s p50<=%s p95<=%s p99<=%s",
+		h.Count, h.Mean().Round(time.Microsecond),
+		h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
+}
+
+// AtomicHistogram is a Histogram with atomic bucket updates, safe for
+// concurrent Observe from many goroutines (used for process-wide
+// aggregates such as the simulator's per-run latency). The record path is
+// three atomic adds — no locks, no allocation.
+type AtomicHistogram struct {
+	count  atomic.Uint64
+	sum    atomic.Int64
+	bucket [HistBuckets]atomic.Uint64
+}
+
+// Observe records one duration.
+func (h *AtomicHistogram) Observe(d time.Duration) {
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	h.bucket[histBucketOf(int64(d))].Add(1)
+}
+
+// Snapshot copies the current totals into a plain Histogram. Concurrent
+// observers may land between the loads; the snapshot is internally
+// consistent enough for exposition (bucket sums may trail Count by
+// in-flight observations).
+func (h *AtomicHistogram) Snapshot() Histogram {
+	var out Histogram
+	out.Count = h.count.Load()
+	out.Sum = h.sum.Load()
+	for i := range h.bucket {
+		out.Bucket[i] = h.bucket[i].Load()
+	}
+	return out
+}
+
+// Reset zeroes the histogram.
+func (h *AtomicHistogram) Reset() {
+	h.count.Store(0)
+	h.sum.Store(0)
+	for i := range h.bucket {
+		h.bucket[i].Store(0)
+	}
+}

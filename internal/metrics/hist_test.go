@@ -1,0 +1,152 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistBucketMapping(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+		{1024, 10}, {1025, 11}, {math.MaxInt64, HistBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := histBucketOf(c.ns); got != c.want {
+			t.Errorf("histBucketOf(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+	// Every value must land in a bucket whose bound covers it.
+	for _, ns := range []int64{1, 7, 100, 999, 1 << 20, 1 << 40} {
+		b := histBucketOf(ns)
+		if HistBucketBound(b) < ns {
+			t.Errorf("value %d lands in bucket %d with bound %d", ns, b, HistBucketBound(b))
+		}
+		if b > 0 && HistBucketBound(b-1) >= ns {
+			t.Errorf("value %d could fit the smaller bucket %d (bound %d)", ns, b-1, HistBucketBound(b-1))
+		}
+	}
+	if HistBucketBound(HistBuckets-1) != math.MaxInt64 {
+		t.Error("last bucket must be unbounded")
+	}
+}
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Microsecond) // bucket bound 1.024µs
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Millisecond)
+	}
+	if h.Count != 100 {
+		t.Fatalf("count=%d", h.Count)
+	}
+	if got := h.Quantile(0.5); got > 2*time.Microsecond {
+		t.Errorf("p50=%v, want ~1µs upper bound", got)
+	}
+	if got := h.Quantile(0.99); got < time.Millisecond {
+		t.Errorf("p99=%v, want >= 1ms", got)
+	}
+	wantMean := (90*time.Microsecond + 10*time.Millisecond) / 100
+	if h.Mean() != wantMean {
+		t.Errorf("mean=%v, want %v", h.Mean(), wantMean)
+	}
+	var zero Histogram
+	if zero.Quantile(0.5) != 0 || zero.Mean() != 0 || zero.String() != "n=0" {
+		t.Error("zero-value histogram accessors wrong")
+	}
+}
+
+func TestHistogramAdd(t *testing.T) {
+	var a, b Histogram
+	a.Observe(time.Microsecond)
+	b.Observe(time.Millisecond)
+	b.Observe(time.Second)
+	a.Add(&b)
+	if a.Count != 3 {
+		t.Errorf("count=%d after Add", a.Count)
+	}
+	if want := int64(time.Microsecond + time.Millisecond + time.Second); a.Sum != want {
+		t.Errorf("sum=%d, want %d", a.Sum, want)
+	}
+	var total uint64
+	for _, c := range a.Bucket {
+		total += c
+	}
+	if total != 3 {
+		t.Errorf("bucket sum=%d", total)
+	}
+}
+
+func TestHistogramObserveDoesNotAllocate(t *testing.T) {
+	var h Histogram
+	allocs := testing.AllocsPerRun(200, func() { h.Observe(time.Microsecond) })
+	if allocs != 0 {
+		t.Fatalf("Observe allocates %v per call, want 0", allocs)
+	}
+}
+
+func TestAtomicHistogramConcurrent(t *testing.T) {
+	var h AtomicHistogram
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	snap := h.Snapshot()
+	if snap.Count != workers*per {
+		t.Errorf("count=%d, want %d", snap.Count, workers*per)
+	}
+	if want := int64(workers * per * int(time.Microsecond)); snap.Sum != want {
+		t.Errorf("sum=%d, want %d", snap.Sum, want)
+	}
+	h.Reset()
+	if h.Snapshot().Count != 0 {
+		t.Error("Reset did not zero the histogram")
+	}
+}
+
+func TestStageClockHistAndClone(t *testing.T) {
+	var c StageClock
+	c.Observe("place", time.Microsecond)
+	c.Observe("place", time.Millisecond)
+	c.Observe("merge", time.Second)
+	if h := c.Hist("place"); h == nil || h.Count != 2 {
+		t.Fatalf("place hist: %+v", c.Hist("place"))
+	}
+	if c.Hist("nope") != nil {
+		t.Error("unknown stage must return nil hist")
+	}
+
+	snap := c.Clone()
+	c.Observe("place", time.Hour)
+	if snap.Hist("place").Count != 2 {
+		t.Error("Clone shares state with the source clock")
+	}
+	if snap.Total("merge") != time.Second {
+		t.Errorf("clone merge total=%v", snap.Total("merge"))
+	}
+
+	// Merge must bucket-merge histograms, not just totals.
+	var dst StageClock
+	dst.Observe("place", time.Nanosecond)
+	dst.Merge(snap)
+	if h := dst.Hist("place"); h.Count != 3 {
+		t.Errorf("merged place hist count=%d, want 3", h.Count)
+	}
+	if dst.Total("place") != time.Nanosecond+time.Microsecond+time.Millisecond {
+		t.Errorf("merged place total=%v", dst.Total("place"))
+	}
+}

@@ -1,0 +1,32 @@
+// Package obsv is the observability layer of the barrier-MIMD tool chain:
+// structured trace recording for scheduler decisions and simulator
+// executions, trace export as JSONL or Chrome trace_event JSON (loadable
+// in Perfetto / about:tracing), and a metrics exposition endpoint serving
+// Prometheus text format, expvar, and net/http/pprof.
+//
+// # Zero overhead when disabled
+//
+// Recording is attached through the Recorder interface carried by
+// core.Options (scheduler events) and machine.Config (simulator events).
+// A nil Recorder disables recording entirely: every record site is a
+// single nil check, and the warm-path allocation pins of the scheduler
+// and simulator hold unchanged. With recording enabled, events land in a
+// fixed-capacity Ring whose record path is also allocation-free; when the
+// ring wraps, the oldest events are dropped and counted.
+//
+// # Determinism
+//
+// Trace events carry only deterministic data — decision identities and
+// logical (simulated) time, never wall-clock time — so for a fixed seed
+// the event stream of a scheduling run or simulation is byte-identical
+// across runs and across worker counts. Batch drivers (core.ScheduleBatch,
+// the bmsim seed sweep) give each item a private ring and replay the rings
+// in index order into the caller's recorder, which keeps merged streams
+// deterministic too. Nondeterministic measurements — stage wall times, run
+// latency histograms — are deliberately kept out of the trace stream and
+// surfaced only through the exposition endpoint.
+//
+// The full telemetry schema — every event kind and its argument fields,
+// every exposition metric name — is documented in OBSERVABILITY.md at the
+// repository root.
+package obsv

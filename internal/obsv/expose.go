@@ -1,0 +1,244 @@
+package obsv
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"barriermimd/internal/metrics"
+)
+
+// A Collector contributes a family of metrics to an exposition scrape.
+// Collect is called once per scrape with a writer for the Prometheus
+// text format and must be safe for concurrent calls.
+type Collector interface {
+	Collect(w *PromWriter)
+}
+
+// CollectorFunc adapts a function to the Collector interface.
+type CollectorFunc func(w *PromWriter)
+
+// Collect calls f.
+func (f CollectorFunc) Collect(w *PromWriter) { f(w) }
+
+// Registry is a named set of collectors backing the /metrics and
+// /debug/vars endpoints. The zero value is ready to use.
+type Registry struct {
+	mu         sync.Mutex
+	names      []string
+	collectors map[string]Collector
+}
+
+// Register adds a collector under a name (used only for deterministic
+// scrape ordering and expvar grouping). Registering a name twice
+// replaces the earlier collector.
+func (r *Registry) Register(name string, c Collector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.collectors == nil {
+		r.collectors = make(map[string]Collector)
+	}
+	if _, ok := r.collectors[name]; !ok {
+		r.names = append(r.names, name)
+		sort.Strings(r.names)
+	}
+	r.collectors[name] = c
+}
+
+// WritePrometheus runs every collector in name order, writing one
+// Prometheus text-format exposition to w.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	pw := &PromWriter{w: w}
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	cs := make([]Collector, len(names))
+	for i, n := range names {
+		cs[i] = r.collectors[n]
+	}
+	r.mu.Unlock()
+	for _, c := range cs {
+		c.Collect(pw)
+	}
+}
+
+// PromWriter emits the Prometheus text exposition format (version 0.0.4):
+// a # HELP / # TYPE header per metric family followed by its samples.
+// Histograms are written in the native histogram sample layout
+// (_bucket{le="..."} cumulative counts, _sum, _count) with bucket bounds
+// converted from the internal nanosecond buckets to seconds.
+type PromWriter struct {
+	w io.Writer
+}
+
+// header writes the HELP/TYPE preamble for one metric family.
+func (p *PromWriter) header(name, help, typ string) {
+	fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// Counter writes one counter sample. labels is either empty or a
+// pre-rendered `name="value",...` list without braces.
+func (p *PromWriter) Counter(name, help, labels string, v uint64) {
+	p.header(name, help, "counter")
+	p.sample(name, "", labels, fmt.Sprintf("%d", v))
+}
+
+// Gauge writes one gauge sample.
+func (p *PromWriter) Gauge(name, help, labels string, v float64) {
+	p.header(name, help, "gauge")
+	p.sample(name, "", labels, formatFloat(v))
+}
+
+// Histogram writes one histogram family from a metrics.Histogram whose
+// observations are durations: bucket bounds are exported in seconds.
+func (p *PromWriter) Histogram(name, help, labels string, h metrics.Histogram) {
+	p.header(name, help, "histogram")
+	p.histSamples(name, labels, h)
+}
+
+// HistSample pairs one label set with its histogram for HistogramVec.
+type HistSample struct {
+	Labels string
+	Hist   metrics.Histogram
+}
+
+// HistogramVec writes one histogram family carrying several label sets
+// under a single HELP/TYPE header (the text format forbids repeating the
+// metadata per series).
+func (p *PromWriter) HistogramVec(name, help string, series []HistSample) {
+	p.header(name, help, "histogram")
+	for _, s := range series {
+		p.histSamples(name, s.Labels, s.Hist)
+	}
+}
+
+func (p *PromWriter) histSamples(name, labels string, h metrics.Histogram) {
+	var cum uint64
+	for i := 0; i < metrics.HistBuckets; i++ {
+		cum += h.Bucket[i]
+		le := "+Inf"
+		if i < metrics.HistBuckets-1 {
+			le = formatFloat(float64(metrics.HistBucketBound(i)) / float64(time.Second))
+		}
+		lb := fmt.Sprintf("le=%q", le)
+		if labels != "" {
+			lb = labels + "," + lb
+		}
+		p.sample(name, "_bucket", lb, fmt.Sprintf("%d", cum))
+	}
+	p.sample(name, "_sum", labels, formatFloat(float64(h.Sum)/float64(time.Second)))
+	p.sample(name, "_count", labels, fmt.Sprintf("%d", h.Count))
+}
+
+func (p *PromWriter) sample(name, suffix, labels, value string) {
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	fmt.Fprintf(p.w, "%s%s%s %s\n", name, suffix, labels, value)
+}
+
+// formatFloat renders a float the way Prometheus clients expect: plain
+// decimal, no exponent for typical magnitudes, no trailing zeros.
+func formatFloat(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	return s
+}
+
+// Label renders one escaped label pair for the labels argument of the
+// sample writers.
+func Label(name, value string) string {
+	return fmt.Sprintf("%s=%q", name, value)
+}
+
+// Handler returns the /metrics handler serving the registry in
+// Prometheus text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+var expvarOnce sync.Once
+
+// publishExpvar exposes the registry under the "barriermimd" expvar as a
+// map from collector name to its rendered Prometheus text, so
+// /debug/vars carries the same data as /metrics. expvar.Publish panics
+// on duplicate names, so publication is process-global and first-wins.
+func publishExpvar(r *Registry) {
+	expvarOnce.Do(func() {
+		expvar.Publish("barriermimd", expvar.Func(func() any {
+			out := map[string]string{}
+			r.mu.Lock()
+			names := append([]string(nil), r.names...)
+			cs := make([]Collector, len(names))
+			for i, n := range names {
+				cs[i] = r.collectors[n]
+			}
+			r.mu.Unlock()
+			for i, c := range cs {
+				var b strings.Builder
+				c.Collect(&PromWriter{w: &b})
+				out[names[i]] = b.String()
+			}
+			return out
+		}))
+	})
+}
+
+// Mux returns the observability HTTP mux: /metrics (Prometheus text),
+// /debug/vars (expvar), and /debug/pprof/* (net/http/pprof). The pprof
+// handlers are mounted explicitly so importing this package does not
+// touch http.DefaultServeMux.
+func (r *Registry) Mux() *http.ServeMux {
+	publishExpvar(r)
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		io.WriteString(w, "barriermimd observability endpoint\n"+
+			"  /metrics      Prometheus text format\n"+
+			"  /debug/vars   expvar JSON\n"+
+			"  /debug/pprof  runtime profiles\n")
+	})
+	return mux
+}
+
+// Server is a running observability HTTP server.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the observability endpoint on addr (e.g. "127.0.0.1:0")
+// and returns once the listener is bound. Close shuts it down.
+func Serve(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: r.Mux()}
+	go srv.Serve(ln)
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound listen address ("host:port").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error { return s.srv.Close() }

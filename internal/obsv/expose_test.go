@@ -1,0 +1,199 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"barriermimd/internal/metrics"
+)
+
+// parsePromText is a minimal Prometheus text-format checker: every
+// non-comment line must be `name{labels} value` or `name value`, every
+// sample must follow a TYPE header for its family, and histogram bucket
+// counts must be cumulative. It returns the parsed samples.
+func parsePromText(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := map[string]float64{}
+	typed := map[string]string{}
+	var lastBucket float64
+	var lastSeries string
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("line %d: malformed TYPE: %q", ln, line)
+			}
+			typed[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndex(line, " ")
+		if sp < 0 {
+			t.Fatalf("line %d: no value: %q", ln, line)
+		}
+		key, val := line[:sp], line[sp+1:]
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value %q: %v", ln, val, err)
+		}
+		name := key
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				t.Fatalf("line %d: unbalanced labels: %q", ln, line)
+			}
+			name = name[:i]
+		}
+		family := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if _, ok := typed[family]; !ok {
+			t.Fatalf("line %d: sample %q has no TYPE header for %q", ln, line, family)
+		}
+		if strings.HasSuffix(name, "_bucket") {
+			// One bucket series = the sample key minus its le label; the
+			// cumulative invariant holds within a series only.
+			le := strings.Index(key, `le="`)
+			if le < 0 {
+				t.Fatalf("line %d: bucket without le label: %q", ln, line)
+			}
+			series := key[:le]
+			if series != lastSeries {
+				lastBucket = 0
+				lastSeries = series
+			}
+			if v < lastBucket {
+				t.Fatalf("line %d: non-cumulative bucket: %q (prev %v)", ln, line, lastBucket)
+			}
+			lastBucket = v
+		}
+		samples[key] = v
+	}
+	return samples
+}
+
+func testRegistry() *Registry {
+	reg := &Registry{}
+	reg.Register("counters", CollectorFunc(func(w *PromWriter) {
+		w.Counter("test_ops_total", "Operations.", "", 42)
+		w.Gauge("test_depth", "Depth.", Label("side", "left"), 2.5)
+	}))
+	reg.Register("hist", CollectorFunc(func(w *PromWriter) {
+		var h metrics.Histogram
+		h.Observe(100 * time.Nanosecond)
+		h.Observe(3 * time.Microsecond)
+		h.Observe(2 * time.Millisecond)
+		w.Histogram("test_latency_seconds", "Latency.", Label("stage", "place"), h)
+	}))
+	return reg
+}
+
+func TestWritePrometheusParses(t *testing.T) {
+	var b strings.Builder
+	testRegistry().WritePrometheus(&b)
+	samples := parsePromText(t, b.String())
+	if samples["test_ops_total"] != 42 {
+		t.Errorf("counter sample missing: %v", samples)
+	}
+	if samples[`test_depth{side="left"}`] != 2.5 {
+		t.Errorf("gauge sample missing: %v", samples)
+	}
+	if samples[`test_latency_seconds_count{stage="place"}`] != 3 {
+		t.Errorf("histogram count missing: %v", samples)
+	}
+	inf := `test_latency_seconds_bucket{stage="place",le="+Inf"}`
+	if samples[inf] != 3 {
+		t.Errorf("+Inf bucket=%v, want 3", samples[inf])
+	}
+}
+
+func TestHistogramVecSingleHeader(t *testing.T) {
+	reg := &Registry{}
+	reg.Register("vec", CollectorFunc(func(w *PromWriter) {
+		var a, b metrics.Histogram
+		a.Observe(time.Microsecond)
+		b.Observe(time.Millisecond)
+		w.HistogramVec("vec_seconds", "Vec.", []HistSample{
+			{Labels: Label("machine", "sbm"), Hist: a},
+			{Labels: Label("machine", "dbm"), Hist: b},
+		})
+	}))
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	text := sb.String()
+	if n := strings.Count(text, "# TYPE vec_seconds histogram"); n != 1 {
+		t.Errorf("family header appears %d times, want 1:\n%s", n, text)
+	}
+	samples := parsePromText(t, text)
+	if samples[`vec_seconds_count{machine="sbm"}`] != 1 || samples[`vec_seconds_count{machine="dbm"}`] != 1 {
+		t.Errorf("per-label counts missing: %v", samples)
+	}
+}
+
+func TestRegistryDeterministicOrder(t *testing.T) {
+	var a, b strings.Builder
+	reg := testRegistry()
+	reg.WritePrometheus(&a)
+	reg.WritePrometheus(&b)
+	if a.String() != b.String() {
+		t.Error("two scrapes of the same registry differ")
+	}
+	if strings.Index(a.String(), "test_ops_total") > strings.Index(a.String(), "test_latency_seconds") {
+		t.Error("collectors not in name order (counters < hist)")
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", testRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	get := func(path string) (int, string) {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr(), path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: %d", code)
+	}
+	if samples := parsePromText(t, body); samples["test_ops_total"] != 42 {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+
+	code, body = get("/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars: %d", code)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if _, ok := vars["barriermimd"]; !ok {
+		t.Errorf("/debug/vars missing barriermimd var; have %d vars", len(vars))
+	}
+
+	if code, _ := get("/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/: %d", code)
+	}
+	if code, _ := get("/"); code != http.StatusOK {
+		t.Errorf("/: %d", code)
+	}
+	if code, _ := get("/nope"); code != http.StatusNotFound {
+		t.Errorf("/nope: %d, want 404", code)
+	}
+}

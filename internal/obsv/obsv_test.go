@@ -1,0 +1,211 @@
+package obsv
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRingRecordAssignsSeq(t *testing.T) {
+	r := NewRing(8)
+	for i := 0; i < 5; i++ {
+		r.Record(Event{Kind: KindBarrierFire, Tick: int64(i * 10), Arg0: int64(i)})
+	}
+	if r.Len() != 5 || r.Dropped() != 0 {
+		t.Fatalf("len=%d dropped=%d, want 5/0", r.Len(), r.Dropped())
+	}
+	evs := r.Events()
+	for i, ev := range evs {
+		if ev.Seq != uint64(i) {
+			t.Errorf("event %d has seq %d", i, ev.Seq)
+		}
+		if ev.Arg0 != int64(i) {
+			t.Errorf("event %d out of order: arg0=%d", i, ev.Arg0)
+		}
+	}
+}
+
+func TestRingWraparoundKeepsNewest(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Record(Event{Kind: KindBarrierFire, Arg0: int64(i)})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("len=%d, want 4", r.Len())
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("dropped=%d, want 6", r.Dropped())
+	}
+	evs := r.Events()
+	for i, ev := range evs {
+		if want := int64(6 + i); ev.Arg0 != want {
+			t.Errorf("slot %d: arg0=%d, want %d (oldest-first newest events)", i, ev.Arg0, want)
+		}
+		if want := uint64(6 + i); ev.Seq != want {
+			t.Errorf("slot %d: seq=%d, want %d", i, ev.Seq, want)
+		}
+	}
+}
+
+func TestRingReset(t *testing.T) {
+	r := NewRing(2)
+	r.Record(Event{Kind: KindRunStart})
+	r.Record(Event{Kind: KindRunEnd})
+	r.Record(Event{Kind: KindRunEnd})
+	r.Reset()
+	if r.Len() != 0 || r.Dropped() != 0 {
+		t.Fatalf("after reset: len=%d dropped=%d", r.Len(), r.Dropped())
+	}
+	r.Record(Event{Kind: KindRunStart})
+	if evs := r.Events(); len(evs) != 1 || evs[0].Seq != 0 {
+		t.Fatalf("after reset record: %+v", evs)
+	}
+}
+
+func TestRingRecordDoesNotAllocate(t *testing.T) {
+	r := NewRing(16)
+	allocs := testing.AllocsPerRun(200, func() {
+		r.Record(Event{Kind: KindBarrierFire, Tick: 3, Arg0: 1})
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates %v per call, want 0", allocs)
+	}
+}
+
+func TestReplayIntoReassignsSeq(t *testing.T) {
+	a, b, dst := NewRing(4), NewRing(4), NewRing(16)
+	a.Record(Event{Kind: KindRunStart, Arg0: 1})
+	a.Record(Event{Kind: KindRunEnd, Arg0: 1})
+	b.Record(Event{Kind: KindRunStart, Arg0: 2})
+	a.ReplayInto(dst)
+	b.ReplayInto(dst)
+	evs := dst.Events()
+	if len(evs) != 3 {
+		t.Fatalf("merged %d events, want 3", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i) {
+			t.Errorf("merged event %d has seq %d", i, ev.Seq)
+		}
+	}
+	if evs[2].Arg0 != 2 {
+		t.Errorf("replay order broken: %+v", evs)
+	}
+}
+
+func TestKindStringsAndDomains(t *testing.T) {
+	for k := KindNone + 1; k < numKinds; k++ {
+		if strings.HasPrefix(k.String(), "Kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if Kind(200).String() != "Kind(200)" {
+		t.Errorf("unknown kind: %s", Kind(200))
+	}
+	if !KindBarrierFire.Simulator() || KindBarrierInsert.Simulator() {
+		t.Error("Simulator() domain split wrong")
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	r := NewRing(8)
+	r.Record(Event{Kind: KindBarrierInsert, Tick: 4, Arg0: 1, Arg1: 0, Arg2: 2})
+	r.Record(Event{Kind: KindBarrierFire, Tick: 17, Arg0: 1, Arg1: 2})
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("wrote %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var rec struct {
+		Kind string `json:"kind"`
+		Seq  uint64 `json:"seq"`
+		Tick int64  `json:"tick"`
+		Arg0 int64  `json:"arg0"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("line 0 is not JSON: %v", err)
+	}
+	if rec.Kind != "barrier-insert" || rec.Tick != 4 || rec.Arg0 != 1 {
+		t.Errorf("line 0 decoded wrong: %+v", rec)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
+		t.Fatalf("line 1 is not JSON: %v", err)
+	}
+	if rec.Kind != "barrier-fire" || rec.Seq != 1 || rec.Tick != 17 {
+		t.Errorf("line 1 decoded wrong: %+v", rec)
+	}
+}
+
+func TestWriteChromeTraceShape(t *testing.T) {
+	r := NewRing(8)
+	r.Record(Event{Kind: KindBarrierInsert, Tick: 4, Arg0: 1, Arg1: 0, Arg2: 2})
+	r.Record(Event{Kind: KindRunStart, Arg0: 7, Arg1: 0, Arg2: 0})
+	r.Record(Event{Kind: KindBarrierFire, Tick: 17, Arg0: 1, Arg1: 2})
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			PID  int            `json:"pid"`
+			TS   int64          `json:"ts"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	// Two process_name metadata events plus the three instants.
+	if len(doc.TraceEvents) != 5 {
+		t.Fatalf("trace has %d events, want 5", len(doc.TraceEvents))
+	}
+	meta := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" {
+			meta++
+			continue
+		}
+		if ev.Ph != "i" {
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+		switch ev.Name {
+		case "barrier-insert":
+			if ev.PID != 1 || ev.TS != 0 {
+				t.Errorf("scheduler event on pid=%d ts=%d, want pid 1 ts=seq 0", ev.PID, ev.TS)
+			}
+			if ev.Args["barrier"] != float64(1) || ev.Args["consumer_proc"] != float64(2) {
+				t.Errorf("barrier-insert args wrong: %v", ev.Args)
+			}
+		case "barrier-fire":
+			if ev.PID != 2 || ev.TS != 17 {
+				t.Errorf("simulator event on pid=%d ts=%d, want pid 2 ts=tick 17", ev.PID, ev.TS)
+			}
+		case "run-start":
+			if ev.PID != 2 || ev.TS != 0 {
+				t.Errorf("run-start on pid=%d ts=%d", ev.PID, ev.TS)
+			}
+			if ev.Args["seed"] != float64(7) {
+				t.Errorf("run-start args wrong: %v", ev.Args)
+			}
+		default:
+			t.Errorf("unexpected event %q", ev.Name)
+		}
+	}
+	if meta != 2 {
+		t.Errorf("%d metadata events, want 2 process names", meta)
+	}
+}
+
+func TestKindArgNamesCoverAllKinds(t *testing.T) {
+	for k := KindNone + 1; k < numKinds; k++ {
+		if kindArgNames[k][0] == "" {
+			t.Errorf("kind %v has no named Arg0 in the trace schema", k)
+		}
+	}
+}

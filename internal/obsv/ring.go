@@ -1,0 +1,87 @@
+package obsv
+
+// Recorder consumes structured trace events. A nil Recorder disables
+// recording; every record site in the scheduler and simulator guards with
+// one nil check, so the disabled hot paths are unchanged (and their
+// 0-alloc pins hold). Implementations are called synchronously from the
+// hot path and must not block or allocate per event.
+//
+// Recorders are not required to be goroutine-safe: the scheduler and a
+// single simulation run are single-goroutine, and batch drivers give each
+// parallel item its own Ring, replaying them in index order afterwards so
+// merged streams stay deterministic at any worker count.
+type Recorder interface {
+	Record(Event)
+}
+
+// Ring is a fixed-capacity ring-buffer Recorder. Once the buffer is full,
+// each new event evicts the oldest one; Dropped reports how many were
+// evicted. The record path is an index increment and a slot store — no
+// allocation after construction.
+type Ring struct {
+	buf   []Event
+	seq   uint64 // total events ever recorded
+	start int    // index of the oldest live event
+	n     int    // live events
+}
+
+// DefaultRingCapacity is the event capacity CLI tools use for -trace
+// rings when no explicit capacity is given.
+const DefaultRingCapacity = 1 << 16
+
+// NewRing returns a ring holding up to capacity events (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Record stores the event, stamping its Seq with the ring's running
+// event count. When the ring is full the oldest event is evicted.
+func (r *Ring) Record(ev Event) {
+	ev.Seq = r.seq
+	r.seq++
+	if r.n < len(r.buf) {
+		r.buf[(r.start+r.n)%len(r.buf)] = ev
+		r.n++
+		return
+	}
+	r.buf[r.start] = ev
+	r.start = (r.start + 1) % len(r.buf)
+}
+
+// Len returns the number of live events.
+func (r *Ring) Len() int { return r.n }
+
+// Dropped returns how many events were evicted by wraparound.
+func (r *Ring) Dropped() uint64 { return r.seq - uint64(r.n) }
+
+// Do calls fn for every live event, oldest first, without allocating.
+func (r *Ring) Do(fn func(Event)) {
+	for i := 0; i < r.n; i++ {
+		fn(r.buf[(r.start+i)%len(r.buf)])
+	}
+}
+
+// Events returns the live events oldest-first as a fresh slice.
+func (r *Ring) Events() []Event {
+	out := make([]Event, 0, r.n)
+	r.Do(func(ev Event) { out = append(out, ev) })
+	return out
+}
+
+// ReplayInto re-records every live event into dst, oldest first. Seq is
+// reassigned by dst, so replaying per-item rings in index order yields
+// one deterministic merged stream regardless of how the items were
+// scheduled across workers.
+func (r *Ring) ReplayInto(dst Recorder) {
+	r.Do(func(ev Event) { dst.Record(ev) })
+}
+
+// Reset empties the ring and zeroes its counters, keeping the buffer.
+func (r *Ring) Reset() {
+	r.seq = 0
+	r.start = 0
+	r.n = 0
+}

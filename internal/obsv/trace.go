@@ -1,0 +1,116 @@
+package obsv
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteJSONL writes the ring's live events as JSON Lines, one event per
+// line, oldest first. The format is the schema documented in
+// OBSERVABILITY.md:
+//
+//	{"kind":"barrier-insert","seq":0,"tick":3,"arg0":1,"arg1":0,"arg2":2}
+//
+// Field order and number formatting are fixed, so for a fixed seed the
+// output bytes are identical across runs and worker counts.
+func WriteJSONL(w io.Writer, r *Ring) error {
+	bw := bufio.NewWriter(w)
+	var err error
+	r.Do(func(ev Event) {
+		if err != nil {
+			return
+		}
+		_, err = fmt.Fprintf(bw,
+			`{"kind":%q,"seq":%d,"tick":%d,"arg0":%d,"arg1":%d,"arg2":%d}`+"\n",
+			ev.Kind.String(), ev.Seq, ev.Tick, ev.Arg0, ev.Arg1, ev.Arg2)
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Chrome trace_event process ids: scheduler events are grouped under one
+// process (timestamped by Seq, their stream position), simulator events
+// under another (timestamped by Tick, simulated time).
+const (
+	tracePIDScheduler = 1
+	tracePIDSimulator = 2
+)
+
+// WriteChromeTrace writes the ring's live events as Chrome trace_event
+// JSON ({"traceEvents":[...]}), loadable in Perfetto and about:tracing.
+// Every event becomes an instant event (ph "i"); scheduler kinds land on
+// pid 1 with ts = Seq, simulator kinds on pid 2 with ts = Tick, so the
+// Perfetto timeline shows scheduler decisions in decision order and
+// simulator firings at their simulated times. The per-kind args are
+// attached under their schema names.
+func WriteChromeTrace(w io.Writer, r *Ring) error {
+	bw := bufio.NewWriter(w)
+	if _, err := io.WriteString(bw, `{"traceEvents":[`); err != nil {
+		return err
+	}
+	// Name the two synthetic processes so the Perfetto UI labels its
+	// tracks; metadata events (ph "M") are the trace_event idiom for that.
+	_, err := io.WriteString(bw,
+		`{"name":"process_name","ph":"M","pid":1,"tid":1,"args":{"name":"scheduler"}},`+
+			`{"name":"process_name","ph":"M","pid":2,"tid":1,"args":{"name":"simulator"}}`)
+	if err != nil {
+		return err
+	}
+	r.Do(func(ev Event) {
+		if err != nil {
+			return
+		}
+		pid, ts := tracePIDScheduler, int64(ev.Seq)
+		if ev.Kind.Simulator() {
+			pid, ts = tracePIDSimulator, ev.Tick
+		}
+		_, err = fmt.Fprintf(bw,
+			`,{"name":%q,"ph":"i","s":"p","pid":%d,"tid":1,"ts":%d,"args":{%s}}`,
+			ev.Kind.String(), pid, ts, chromeArgs(ev))
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := io.WriteString(bw, "]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// chromeArgs renders an event's args object using the per-kind field
+// names from the telemetry schema, plus the event's seq and tick so
+// nothing is lost relative to the JSONL form.
+func chromeArgs(ev Event) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `"seq":%d,"tick":%d`, ev.Seq, ev.Tick)
+	names := kindArgNames[ev.Kind]
+	for i, name := range names {
+		if name == "" {
+			continue
+		}
+		v := [3]int64{ev.Arg0, ev.Arg1, ev.Arg2}[i]
+		fmt.Fprintf(&b, `,%q:%d`, name, v)
+	}
+	return b.String()
+}
+
+// kindArgNames maps each kind's Arg0..Arg2 to its schema field name; ""
+// marks an unused slot.
+var kindArgNames = [numKinds][3]string{
+	KindBarrierInsert: {"barrier", "producer_proc", "consumer_proc"},
+	KindBarrierMerge:  {"into", "folded", "participants"},
+	KindMergeReject:   {"barrier_a", "barrier_b", ""},
+	KindRollback:      {"barrier", "", ""},
+	KindRepair:        {"producer_node", "consumer_node", ""},
+	KindGraphPatch:    {"barrier", "", ""},
+	KindGraphRebuild:  {"live_barriers", "", ""},
+	KindCacheStats:    {"hits", "misses", ""},
+	KindSchedDone:     {"barriers", "merged", "repaired"},
+	KindRunStart:      {"seed", "policy", "barrier_cost"},
+	KindBarrierFire:   {"barrier", "participants", ""},
+	KindRunEnd:        {"finish", "", ""},
+}

@@ -13,4 +13,6 @@
 // The pool is not part of the paper's algorithmics; it is the batching
 // layer that amortizes the paper's expensive static analysis (sections
 // 4.1–4.4) across the thousands of synthetic benchmarks of section 5.
+// Stats reports the process-wide fan-out counters (batches started, task
+// indices covered) scraped by the observability endpoint.
 package pool

@@ -3,7 +3,28 @@ package pool
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
+
+// Package-wide fan-out counters behind Stats; atomic because batches on
+// different goroutines may start concurrently.
+var stats struct {
+	batches atomic.Uint64
+	tasks   atomic.Uint64
+}
+
+// Stats reports how many ForEach batches ran in this process and how
+// many task indices they covered (counted up front, not per claim, so
+// the worker loop is untouched).
+func Stats() (batches, tasks uint64) {
+	return stats.batches.Load(), stats.tasks.Load()
+}
+
+// ResetStats zeroes the fan-out counters (tests).
+func ResetStats() {
+	stats.batches.Store(0)
+	stats.tasks.Store(0)
+}
 
 // ForEach runs fn(0..n-1) across at most workers goroutines and returns
 // the first error encountered (after which no new indices are claimed).
@@ -12,6 +33,8 @@ import (
 // storage so that aggregation stays deterministic regardless of execution
 // order.
 func ForEach(workers, n int, fn func(i int) error) error {
+	stats.batches.Add(1)
+	stats.tasks.Add(uint64(n))
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}

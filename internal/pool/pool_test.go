@@ -63,3 +63,21 @@ func TestForEachSerialErrorIsFirst(t *testing.T) {
 		t.Fatalf("serial first error = %v, want err at 2", err)
 	}
 }
+
+func TestStatsCountBatchesAndTasks(t *testing.T) {
+	ResetStats()
+	if err := ForEach(2, 7, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEach(1, 3, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	batches, tasks := Stats()
+	if batches != 2 || tasks != 10 {
+		t.Errorf("batches=%d tasks=%d, want 2/10", batches, tasks)
+	}
+	ResetStats()
+	if b, k := Stats(); b != 0 || k != 0 {
+		t.Errorf("reset left %d/%d", b, k)
+	}
+}
