@@ -32,6 +32,7 @@ import (
 	"barriermimd/internal/mimd"
 	"barriermimd/internal/obsv"
 	"barriermimd/internal/opt"
+	"barriermimd/internal/schedcache"
 	"barriermimd/internal/synth"
 	"barriermimd/internal/vliw"
 )
@@ -84,6 +85,13 @@ type (
 	VLIWResult = vliw.Result
 	// ExpConfig parameterizes an experiment reproduction.
 	ExpConfig = exp.Config
+	// ScheduleCache memoizes scheduling runs by DAG content; attach one
+	// via Options.Cache or ExpConfig.Cache. The concrete implementation is
+	// a sharded, bounded LRU with per-key singleflight whose hits are
+	// byte-identical to fresh runs (see internal/schedcache).
+	ScheduleCache = schedcache.Cache
+	// CacheStats are a schedule cache's traffic counters.
+	CacheStats = metrics.MemoStats
 )
 
 // Machine kinds, insertion algorithms, and policies, re-exported.
@@ -106,18 +114,22 @@ const (
 // with placement progress, simulator kinds with simulated time; the
 // per-kind argument meanings are documented in OBSERVABILITY.md.
 const (
-	TraceBarrierInsert = obsv.KindBarrierInsert
-	TraceBarrierMerge  = obsv.KindBarrierMerge
-	TraceMergeReject   = obsv.KindMergeReject
-	TraceRollback      = obsv.KindRollback
-	TraceRepair        = obsv.KindRepair
-	TraceGraphPatch    = obsv.KindGraphPatch
-	TraceGraphRebuild  = obsv.KindGraphRebuild
-	TraceCacheStats    = obsv.KindCacheStats
-	TraceSchedDone     = obsv.KindSchedDone
-	TraceRunStart      = obsv.KindRunStart
-	TraceBarrierFire   = obsv.KindBarrierFire
-	TraceRunEnd        = obsv.KindRunEnd
+	TraceBarrierInsert   = obsv.KindBarrierInsert
+	TraceBarrierMerge    = obsv.KindBarrierMerge
+	TraceMergeReject     = obsv.KindMergeReject
+	TraceRollback        = obsv.KindRollback
+	TraceRepair          = obsv.KindRepair
+	TraceGraphPatch      = obsv.KindGraphPatch
+	TraceGraphRebuild    = obsv.KindGraphRebuild
+	TraceCacheStats      = obsv.KindCacheStats
+	TraceSchedDone       = obsv.KindSchedDone
+	TraceRunStart        = obsv.KindRunStart
+	TraceBarrierFire     = obsv.KindBarrierFire
+	TraceRunEnd          = obsv.KindRunEnd
+	TraceSchedCacheHit   = obsv.KindSchedCacheHit
+	TraceSchedCacheMiss  = obsv.KindSchedCacheMiss
+	TraceSchedCacheWait  = obsv.KindSchedCacheWait
+	TraceSchedCacheEvict = obsv.KindSchedCacheEvict
 )
 
 // DefaultTimings returns the Table 1 timing model.
@@ -200,10 +212,18 @@ func WriteTraceChrome(w io.Writer, r *TraceRing) error { return obsv.WriteChrome
 
 // ScheduleBatch schedules every DAG across opts.Parallelism workers.
 // Item i uses opts.Seed+i, so results — and, with opts.Recorder set, the
-// merged trace stream — are identical for every worker count.
+// merged trace stream — are identical for every worker count. With
+// opts.Cache set, every item uses opts.Seed itself and duplicate DAGs
+// share one computation.
 func ScheduleBatch(gs []*Graph, opts Options) ([]*Schedule, error) {
 	return core.ScheduleBatch(gs, opts)
 }
+
+// NewScheduleCache returns a schedule cache bounded to capacity resident
+// entries (<= 0 selects the default, 1024). Attach it via Options.Cache
+// (ScheduleGraph, ScheduleBatch, CompileCF) or ExpConfig.Cache; hits are
+// byte-identical to uncached runs.
+func NewScheduleCache(capacity int) *ScheduleCache { return schedcache.New(capacity) }
 
 // ScheduleVLIW schedules the DAG on a lock-step VLIW with the given number
 // of units, all instructions at maximum time (the section 6 baseline).

@@ -18,6 +18,7 @@ import (
 	"barriermimd/internal/machine"
 	"barriermimd/internal/mimd"
 	"barriermimd/internal/opt"
+	"barriermimd/internal/schedcache"
 	"barriermimd/internal/synth"
 	"barriermimd/internal/vliw"
 )
@@ -371,3 +372,129 @@ func BenchmarkTransitiveReduction(b *testing.B) {
 
 // BenchmarkStudy measures the section 5 whole-study grid sweep.
 func BenchmarkStudy(b *testing.B) { runExp(b, "study") }
+
+// batchGraphs builds a duplicate-heavy batch: uniques distinct graphs,
+// each repeated copies times (so (copies-1)/copies of the items are
+// duplicates), interleaved so duplicates are spread across the batch.
+func batchGraphs(b *testing.B, uniques, copies int) []*dag.Graph {
+	b.Helper()
+	base := make([]*dag.Graph, uniques)
+	for i := range base {
+		base[i] = benchGraph(b, 40, 8, int64(1000+i))
+	}
+	gs := make([]*dag.Graph, 0, uniques*copies)
+	for c := 0; c < copies; c++ {
+		for i := range base {
+			gs = append(gs, base[i])
+		}
+	}
+	return gs
+}
+
+// BenchmarkScheduleBatchUncached measures a duplicate-heavy batch (16
+// distinct 40-statement blocks, 8 copies each = 87.5% duplicates) through
+// the plain per-item path. Baseline for BenchmarkScheduleBatchCached.
+func BenchmarkScheduleBatchUncached(b *testing.B) {
+	gs := batchGraphs(b, 16, 8)
+	opts := core.DefaultOptions(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.ScheduleBatch(gs, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScheduleBatchCached runs the identical duplicate-heavy batch
+// with a fresh content-addressed cache per iteration: each distinct DAG
+// schedules once, the other 87.5% of items are cache hits.
+func BenchmarkScheduleBatchCached(b *testing.B) {
+	gs := batchGraphs(b, 16, 8)
+	opts := core.DefaultOptions(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts.Cache = schedcache.New(0)
+		if _, err := core.ScheduleBatch(gs, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScheduleCacheHit measures the warm hit path of the schedule
+// cache with a pointer-identical graph: fingerprint memo + shard lookup.
+// The allocs/op column is the pinned 0-allocation guarantee.
+func BenchmarkScheduleCacheHit(b *testing.B) {
+	g := benchGraph(b, 60, 10, 1)
+	opts := core.DefaultOptions(8)
+	c := schedcache.New(0)
+	if _, err := c.Schedule(g, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Schedule(g, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFingerprint measures one cold canonical-fingerprint
+// computation (WL refinement + canonical hash) on a 60-statement DAG.
+func BenchmarkFingerprint(b *testing.B) {
+	blocks := make([]*dag.Graph, 64)
+	for i := range blocks {
+		blocks[i] = benchGraph(b, 60, 10, int64(2000+i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// MemoFingerprint caches per graph object; rotate so most calls
+		// in a small-N run are cold.
+		schedcache.FingerprintOf(blocks[i%len(blocks)])
+	}
+}
+
+// BenchmarkCompileCFCached measures control-flow compilation of a
+// loop-heavy program whose lowered blocks repeat, with and without the
+// schedule cache deduplicating identical blocks.
+func BenchmarkCompileCFCached(b *testing.B) {
+	src := `s = 0
+i = 32
+while i {
+	s = s + i * i
+	i = i - 1
+}
+j = 32
+while j {
+	s = s + j * j
+	j = j - 1
+}
+k = 32
+while k {
+	s = s + k * k
+	k = k - 1
+}`
+	prog := lang.MustParseCF(src)
+	for _, cached := range []bool{false, true} {
+		name := "uncached"
+		if cached {
+			name = "cached"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				lowered, err := cfg.Lower(prog)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lowered.Simplify()
+				opts := core.DefaultOptions(8)
+				if cached {
+					opts.Cache = schedcache.New(0)
+				}
+				if err := lowered.Compile(opts, ir.DefaultTimings()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

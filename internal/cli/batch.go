@@ -10,40 +10,76 @@ import (
 )
 
 // schedBatch implements bmsched's multi-file mode: compile every input
-// file, schedule all of them concurrently across opts.Parallelism workers
-// (the -j flag), and print one summary line per file in argument order
-// followed by aggregate counters. Item i is scheduled with seed
-// opts.Seed + i, exactly as core.ScheduleBatch documents, so output is
-// identical for every -j value.
+// file, schedule all the valid ones concurrently across opts.Parallelism
+// workers (the -j flag), and print one summary line per file in argument
+// order followed by aggregate counters. A file that fails to read,
+// compile, or build does not abort the batch: its error is reported on
+// stderr in argument order, the remaining files are still scheduled, and
+// the exit status is nonzero with a failure-count summary.
+//
+// Without a cache, item i of the valid subset is scheduled with seed
+// opts.Seed + i, exactly as core.ScheduleBatch documents; with -cache,
+// every item uses opts.Seed so duplicate inputs schedule once. Output is
+// identical for every -j value either way.
 func schedBatch(paths []string, opts core.Options, asJSON bool, stdout, stderr io.Writer) int {
-	gs := make([]*dag.Graph, len(paths))
+	gs := make([]*dag.Graph, 0, len(paths))
+	srcIdx := make([]int, 0, len(paths)) // gs position -> paths index
+	errs := make([]error, len(paths))
 	for i, path := range paths {
 		src, err := os.ReadFile(path)
 		if err != nil {
-			return fail(stderr, "bmsched", err)
+			errs[i] = err
+			continue
 		}
 		block, err := compileSource(string(src))
 		if err != nil {
-			return fail(stderr, "bmsched", fmt.Errorf("%s: %w", path, err))
+			errs[i] = fmt.Errorf("%s: %w", path, err)
+			continue
 		}
-		if gs[i], err = buildDAG(block); err != nil {
-			return fail(stderr, "bmsched", fmt.Errorf("%s: %w", path, err))
+		g, err := buildDAG(block)
+		if err != nil {
+			errs[i] = fmt.Errorf("%s: %w", path, err)
+			continue
 		}
+		gs = append(gs, g)
+		srcIdx = append(srcIdx, i)
 	}
 
-	scheds, err := core.ScheduleBatch(gs, opts)
+	batch, err := core.ScheduleBatch(gs, opts)
 	if err != nil {
 		return fail(stderr, "bmsched", err)
 	}
+	scheds := make([]*core.Schedule, len(paths))
+	for k, s := range batch {
+		scheds[srcIdx[k]] = s
+	}
+
+	code := 0
+	failed := 0
+	for i := range paths {
+		if errs[i] != nil {
+			fmt.Fprintf(stderr, "bmsched: %v\n", errs[i])
+			failed++
+		}
+	}
+	if failed > 0 {
+		code = 1
+	}
 
 	if asJSON {
+		// The array stays aligned with the argument list: failed files
+		// emit null (their errors are on stderr).
 		fmt.Fprintln(stdout, "[")
 		for i, s := range scheds {
-			raw, jerr := s.ExportJSON()
-			if jerr != nil {
-				return fail(stderr, "bmsched", fmt.Errorf("%s: %w", paths[i], jerr))
+			if s == nil {
+				fmt.Fprint(stdout, "null")
+			} else {
+				raw, jerr := s.ExportJSON()
+				if jerr != nil {
+					return fail(stderr, "bmsched", fmt.Errorf("%s: %w", paths[i], jerr))
+				}
+				stdout.Write(raw)
 			}
-			stdout.Write(raw)
 			if i < len(scheds)-1 {
 				fmt.Fprintln(stdout, ",")
 			} else {
@@ -51,10 +87,17 @@ func schedBatch(paths []string, opts core.Options, asJSON bool, stdout, stderr i
 			}
 		}
 		fmt.Fprintln(stdout, "]")
-		return 0
+		if failed > 0 {
+			fmt.Fprintf(stderr, "bmsched: %d of %d files failed\n", failed, len(paths))
+		}
+		return code
 	}
 
 	for i, s := range scheds {
+		if s == nil {
+			fmt.Fprintf(stdout, "%-24s FAILED (see stderr)\n", paths[i])
+			continue
+		}
 		mn, mx, serr := s.StaticSpan()
 		if serr != nil {
 			return fail(stderr, "bmsched", fmt.Errorf("%s: %w", paths[i], serr))
@@ -62,11 +105,21 @@ func schedBatch(paths []string, opts core.Options, asJSON bool, stdout, stderr i
 		fmt.Fprintf(stdout, "%-24s %s span=[%d,%d]\n", paths[i], s.Metrics.String(), mn, mx)
 	}
 	total := core.BatchMetrics(scheds)
-	fmt.Fprintf(stdout, "\nbatch: %d files\n", len(paths))
+	fmt.Fprintf(stdout, "\nbatch: %d files", len(paths))
+	if failed > 0 {
+		fmt.Fprintf(stdout, " (%d failed)", failed)
+	}
+	fmt.Fprintln(stdout)
 	fmt.Fprintf(stdout, "  %s\n", total.String())
 	fmt.Fprintf(stdout, "  path-cache: %s\n", total.PathCache.String())
 	if total.Stages != nil {
 		fmt.Fprintf(stdout, "  stages:     %s\n", total.Stages.String())
 	}
-	return 0
+	if opts.Cache != nil {
+		fmt.Fprintf(stdout, "  sched-cache: %s\n", opts.Cache.Stats().String())
+	}
+	if failed > 0 {
+		fmt.Fprintf(stderr, "bmsched: %d of %d files failed\n", failed, len(paths))
+	}
+	return code
 }

@@ -1,0 +1,155 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeProg writes a basic-block source file into dir and returns its path.
+func writeProg(t *testing.T, dir, name, src string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSchedBatchAggregatesErrors(t *testing.T) {
+	dir := t.TempDir()
+	good := writeProg(t, dir, "good.bb", "c = a + b\nd = c * c\n")
+	bad := writeProg(t, dir, "bad.bb", "not a = valid ( program\n")
+	missing := filepath.Join(dir, "missing.bb")
+
+	code, out, errb := runSched([]string{"-procs", "4", good, bad, missing}, t, "")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr: %s", code, errb)
+	}
+	if !strings.Contains(errb, "2 of 3 files failed") {
+		t.Errorf("missing failure summary on stderr:\n%s", errb)
+	}
+	// The valid file must still have been scheduled and reported.
+	if !strings.Contains(out, good) || !strings.Contains(out, "span=[") {
+		t.Errorf("valid file not scheduled:\n%s", out)
+	}
+	if strings.Count(out, "FAILED") != 2 {
+		t.Errorf("want 2 FAILED lines:\n%s", out)
+	}
+	if !strings.Contains(out, "(2 failed)") {
+		t.Errorf("batch summary missing failure count:\n%s", out)
+	}
+}
+
+func TestSchedBatchJSONKeepsArrayAligned(t *testing.T) {
+	dir := t.TempDir()
+	good := writeProg(t, dir, "good.bb", "c = a + b\n")
+	missing := filepath.Join(dir, "missing.bb")
+
+	code, out, _ := runSched([]string{"-json", good, missing}, t, "")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if strings.Count(out, `"timelines"`) != 1 || !strings.Contains(out, "null") {
+		t.Errorf("JSON array not aligned with the argument list:\n%s", out)
+	}
+}
+
+func TestSchedRejectsNegativeWorkers(t *testing.T) {
+	code, _, errb := runSched([]string{"-j", "-1", "-example"}, t, "")
+	if code == 0 {
+		t.Fatal("accepted -j -1")
+	}
+	if !strings.Contains(errb, "-j") {
+		t.Errorf("error does not mention -j:\n%s", errb)
+	}
+}
+
+func TestExpRejectsNegativeWorkers(t *testing.T) {
+	code, _, errb := runExpCmd([]string{"-experiment", "fig14", "-j", "-2"}, t, "")
+	if code == 0 {
+		t.Fatal("accepted -j -2")
+	}
+	if !strings.Contains(errb, "-j") {
+		t.Errorf("error does not mention -j:\n%s", errb)
+	}
+}
+
+func TestSchedCacheDedupesBatch(t *testing.T) {
+	dir := t.TempDir()
+	src := "c = a + b\nd = c * c\ne = d - a\n"
+	a := writeProg(t, dir, "a.bb", src)
+	b := writeProg(t, dir, "b.bb", src)
+	c := writeProg(t, dir, "c.bb", src)
+	other := writeProg(t, dir, "other.bb", "x = y * z\n")
+
+	args := []string{"-procs", "4", "-cache", a, b, c, other}
+	code, out, errb := runSched(args, t, "")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	if !strings.Contains(errb, "hits=2 misses=2") {
+		t.Errorf("want 2 hits + 2 misses for 3 duplicates + 1 unique:\nstderr: %s", errb)
+	}
+	if !strings.Contains(out, "sched-cache:") {
+		t.Errorf("batch summary missing sched-cache line:\n%s", out)
+	}
+	// Duplicate inputs share one schedule: their summary lines must agree.
+	line := func(path string) string {
+		for _, l := range strings.Split(out, "\n") {
+			if strings.Contains(l, path) {
+				return strings.TrimPrefix(l, path)
+			}
+		}
+		t.Fatalf("no summary line for %s:\n%s", path, out)
+		return ""
+	}
+	if line(a) != line(b) || line(b) != line(c) {
+		t.Errorf("duplicate files got different schedules:\n%s", out)
+	}
+
+	// Cached batches stay deterministic across worker counts.
+	trim := func(s string) string { return strings.Split(s, "stages:")[0] }
+	for _, j := range []string{"1", "4"} {
+		_, again, _ := runSched(append([]string{"-j", j}, args...), t, "")
+		if trim(again) != trim(out) {
+			t.Errorf("-j %s changed cached batch output", j)
+		}
+	}
+}
+
+func TestSchedCacheSingleInput(t *testing.T) {
+	code, out, errb := runSched([]string{"-cache", "-example"}, t, "")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	if !strings.Contains(errb, "sched-cache: hits=0 misses=1") {
+		t.Errorf("missing cache stats on stderr:\n%s", errb)
+	}
+	_, plain, _ := runSched([]string{"-example"}, t, "")
+	// Stage wall times are nondeterministic; compare everything above them.
+	trim := func(s string) string { return strings.Split(s, "stages:")[0] }
+	if trim(out) != trim(plain) {
+		t.Error("-cache changed single-input output")
+	}
+}
+
+func TestExpCacheFlagPreservesReports(t *testing.T) {
+	base := []string{"-experiment", "fig14", "-runs", "2"}
+	code, plain, errb := runExpCmd(base, t, "")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	code, cached, errb := runExpCmd(append(base, "-cache"), t, "")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb)
+	}
+	if !strings.Contains(cached, "[sched-cache:") {
+		t.Errorf("missing cache stats line:\n%s", cached)
+	}
+	trim := func(s string) string { return strings.Split(s, "completed in")[0] }
+	if trim(cached) != trim(plain) {
+		t.Errorf("-cache changed the experiment report\nplain:\n%s\ncached:\n%s", plain, cached)
+	}
+}

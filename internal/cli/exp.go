@@ -11,6 +11,7 @@ import (
 
 	"barriermimd/internal/exp"
 	"barriermimd/internal/machine"
+	"barriermimd/internal/schedcache"
 )
 
 // Exp implements bmexp: regenerate the paper's tables and figures.
@@ -21,6 +22,8 @@ func Exp(args []string, stdout, stderr io.Writer) int {
 	runs := fs.Int("runs", 100, "benchmarks per parameter point (paper: 100)")
 	seed := fs.Int64("seed", 1, "base seed for benchmark generation")
 	workers := fs.Int("j", 0, "max concurrent trials (0 = all cores); results are identical for any value")
+	useCache := fs.Bool("cache", false, "memoize scheduling runs by DAG content across trials; results are identical either way")
+	cacheSize := fs.Int("cachesize", schedcache.DefaultCapacity, "with -cache: max resident schedules before LRU eviction")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file")
 	list := fs.Bool("list", false, "list available experiments")
@@ -73,6 +76,11 @@ func Exp(args []string, stdout, stderr io.Writer) int {
 		machine.ResetStats()
 	}
 	cfg := exp.Config{Runs: *runs, Seed: *seed, Workers: *workers}
+	var cache *schedcache.Cache
+	if *useCache {
+		cache = schedcache.New(*cacheSize)
+		cfg.Cache = cache
+	}
 	for _, n := range names {
 		start := time.Now()
 		r, err := exp.Run(n, cfg)
@@ -109,6 +117,9 @@ func Exp(args []string, stdout, stderr io.Writer) int {
 			return fail(stderr, "bmexp", err)
 		}
 		fmt.Fprintf(stdout, "[sim stats written to %s: %s]\n", *simStats, st.String())
+	}
+	if cache != nil {
+		fmt.Fprintf(stdout, "[sched-cache: %s]\n", cache.Stats())
 	}
 	if err := session.finish(stderr); err != nil {
 		return fail(stderr, "bmexp", err)

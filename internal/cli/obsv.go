@@ -14,6 +14,7 @@ import (
 	"barriermimd/internal/machine"
 	"barriermimd/internal/obsv"
 	"barriermimd/internal/pool"
+	"barriermimd/internal/schedcache"
 )
 
 // obsvFlags holds the observability flags shared by the tools: -http
@@ -136,6 +137,7 @@ func DefaultRegistry() *obsv.Registry {
 	reg := &obsv.Registry{}
 	reg.Register("sim", obsv.CollectorFunc(collectSim))
 	reg.Register("sched", obsv.CollectorFunc(collectSched))
+	reg.Register("schedcache", obsv.CollectorFunc(collectSchedCache))
 	reg.Register("exp", obsv.CollectorFunc(collectExp))
 	reg.Register("pool", obsv.CollectorFunc(collectPool))
 	reg.Register("runtime", obsv.CollectorFunc(collectRuntime))
@@ -162,6 +164,15 @@ func collectSim(w *obsv.PromWriter) {
 	if len(series) > 0 {
 		w.HistogramVec("barriermimd_sim_run_seconds", "Wall time of one Plan.Run, by machine kind (recorded only while run timing is enabled).", series)
 	}
+}
+
+func collectSchedCache(w *obsv.PromWriter) {
+	st := schedcache.GlobalStats()
+	w.Counter("barriermimd_schedcache_hits_total", "Schedule-cache lookups served from a resident entry.", "", st.Hits)
+	w.Counter("barriermimd_schedcache_misses_total", "Schedule-cache lookups that computed and stored a schedule.", "", st.Misses)
+	w.Counter("barriermimd_schedcache_waits_total", "Schedule-cache lookups that blocked on an in-flight computation (singleflight).", "", st.Waits)
+	w.Counter("barriermimd_schedcache_evictions_total", "Schedule-cache entries displaced by the LRU bound.", "", st.Evictions)
+	w.Counter("barriermimd_schedcache_rejected_total", "Schedule-cache fingerprint matches refused by exact-content verification (isomorph or hash collision).", "", st.Rejected)
 }
 
 func collectSched(w *obsv.PromWriter) {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 
+	"barriermimd/internal/dag"
+	"barriermimd/internal/metrics"
 	"barriermimd/internal/obsv"
 )
 
@@ -147,6 +149,18 @@ type Options struct {
 	// per-processor timeline state against a from-scratch rebuild after
 	// every patch. Expensive; intended for tests.
 	SelfCheck bool
+	// Cache, when non-nil, memoizes whole scheduling runs: ScheduleDAG
+	// consults it before running the section 4 pipeline and returns the
+	// stored schedule when the same (DAG content, decision-relevant
+	// options) pair was scheduled before. Cached schedules are shared and
+	// must be treated as immutable; they are byte-identical to a fresh
+	// run, so results do not change — only the work performed. Batch
+	// drivers change one policy under a cache: ScheduleBatch and
+	// cfg.Program.Compile stop deriving per-item seeds and schedule every
+	// item with Seed itself, so duplicate DAGs within a batch share one
+	// computation (see ScheduleBatch). The canonical implementation is
+	// internal/schedcache.Cache.
+	Cache ScheduleCache
 	// Recorder, when non-nil, receives a structured trace event for every
 	// scheduler decision (barrier insertions, merges, rollbacks, repairs,
 	// dag patches and rebuilds; see internal/obsv and OBSERVABILITY.md).
@@ -156,6 +170,30 @@ type Options struct {
 	// replays the rings in item order, so batch streams are deterministic
 	// at every Parallelism value too.
 	Recorder obsv.Recorder
+}
+
+// ScheduleCache memoizes complete scheduling runs, keyed by the DAG's
+// content and the decision-relevant options (machine, processors,
+// insertion, ordering, assignment, lookahead, seed, path limit —
+// everything that changes the output; Parallelism, Recorder, ForceRebuild,
+// SelfCheck, and Cache itself do not). Implementations must return
+// schedules byte-identical to a fresh ScheduleDAG run with the same
+// arguments, and must be safe for concurrent use — batch drivers call them
+// from many workers at once. The canonical implementation is
+// internal/schedcache.Cache; core depends only on this interface so the
+// cache can build on core without an import cycle.
+type ScheduleCache interface {
+	// Schedule returns the memoized schedule for (g, opts), computing it
+	// with ScheduleDAG on a miss. opts.Cache is ignored (the callee is the
+	// cache); opts.Recorder, when non-nil, receives either the computing
+	// run's full event stream or a single cache event on a hit.
+	Schedule(g *dag.Graph, opts Options) (*Schedule, error)
+	// Fingerprint returns the 128-bit canonical content fingerprint of g
+	// used in the cache key. It is a pure function of the graph's
+	// index-space content and stable across processes.
+	Fingerprint(g *dag.Graph) (hi, lo uint64)
+	// Stats snapshots the cache's traffic counters.
+	Stats() metrics.MemoStats
 }
 
 // DefaultOptions returns the paper's default configuration on n processors.

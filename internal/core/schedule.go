@@ -132,6 +132,28 @@ func (s *Schedule) CloneForMachine(m MachineKind) *Schedule {
 	return c
 }
 
+// CloneForGraph returns a shallow copy of the schedule with the graph
+// pointer replaced. The caller must guarantee g is identical to the
+// schedule's graph in index space (dag.Equal): the copy shares timelines,
+// assignment, barrier dag, and metrics with the original, and every node
+// index in them is reinterpreted against g. The schedule cache uses this
+// to serve a hit computed on one graph object to a request carrying a
+// distinct but content-identical graph, so renderings and exports show the
+// caller's own block text.
+func (s *Schedule) CloneForGraph(g *dag.Graph) *Schedule {
+	c := &Schedule{
+		Graph:        g,
+		Opts:         s.Opts,
+		Procs:        s.Procs,
+		AssignTo:     s.AssignTo,
+		Participants: s.Participants,
+		Barriers:     s.Barriers,
+		BarrierNode:  s.BarrierNode,
+		Metrics:      s.Metrics,
+	}
+	return c
+}
+
 // RegionDelta returns the min- or max-time sum of the instructions on
 // processor p between the last barrier before timeline index idx and idx
 // itself — the δ quantity of section 4.4.1 for the item at idx. The

@@ -20,6 +20,14 @@ func ScheduleDAG(g *dag.Graph, opts Options) (*Schedule, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
+	if opts.Cache != nil {
+		// Delegate to the memoization layer; it calls back into
+		// ScheduleDAG with Cache cleared on a miss, so the pipeline below
+		// is the compute path either way.
+		c := opts.Cache
+		opts.Cache = nil
+		return c.Schedule(g, opts)
+	}
 	s := newScheduler(g, opts)
 	defer s.release()
 

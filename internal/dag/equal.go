@@ -1,0 +1,54 @@
+package dag
+
+// Equal reports whether a and b are identical in index space: same node
+// count, same per-node operation and timing labels, and the same edge set
+// over node indices. Two Equal graphs are interchangeable inputs to the
+// scheduler — every decision the section 4 pipeline makes reads only node
+// indices, timings, and edge structure — so a schedule computed for one is
+// byte-identical (timelines, assignment, barriers, metrics) to a schedule
+// computed for the other under the same options. Variable names are
+// deliberately excluded: they influence how a graph is built, never how it
+// is scheduled.
+//
+// Equal is the exact verifier behind the content-addressed schedule cache
+// (internal/schedcache): fingerprints are isomorphism-stable, so two
+// distinct graphs may share a fingerprint, and Equal decides whether a
+// cached schedule may actually be served.
+func Equal(a, b *Graph) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil {
+		return false
+	}
+	if a.N != b.N || len(a.edges) != len(b.edges) {
+		return false
+	}
+	for i := range a.Time {
+		if a.Time[i] != b.Time[i] {
+			return false
+		}
+	}
+	for i := 0; i < a.N; i++ {
+		if a.Block.Tuples[i].Op != b.Block.Tuples[i].Op {
+			return false
+		}
+	}
+	for i, e := range a.edges {
+		if b.edges[i] != e {
+			return false
+		}
+	}
+	return true
+}
+
+// MemoFingerprint returns the graph's memoized 128-bit content fingerprint,
+// computing it with fn on first call. The graph is immutable after Build,
+// so the fingerprint is computed once and shared, like Topo and Heights;
+// the algorithm itself lives in internal/schedcache (the only caller), and
+// fn must be a pure function of the graph's index-space content so every
+// caller computes the same value.
+func (g *Graph) MemoFingerprint(fn func(*Graph) [2]uint64) [2]uint64 {
+	g.fpOnce.Do(func() { g.fp = fn(g) })
+	return g.fp
+}

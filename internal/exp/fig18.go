@@ -46,7 +46,7 @@ func Fig18(cfg Config) (*Fig18Result, error) {
 			if err != nil {
 				return err
 			}
-			opts := core.DefaultOptions(procs)
+			opts := cfg.options(procs)
 			opts.Seed = seed
 			s, err := core.ScheduleDAG(g, opts)
 			if err != nil {

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"strings"
 
-	"barriermimd/internal/core"
 	"barriermimd/internal/metrics"
 )
 
@@ -38,7 +37,7 @@ func Lookahead(cfg Config) (*LookaheadResult, error) {
 			span := make([]float64, cfg.Runs)
 			err := cfg.forEach(cfg.Runs, func(r int) error {
 				seed := cfg.seedAt(w*31+procs, r)
-				opts := core.DefaultOptions(procs)
+				opts := cfg.options(procs)
 				opts.Lookahead = w
 				s, err := ScheduleOne(60, 10, seed, opts)
 				if err != nil {

@@ -22,6 +22,22 @@ type Config struct {
 	// aggregated in index order, so reports are bit-identical for every
 	// worker count.
 	Workers int
+	// Cache, when non-nil, memoizes scheduling runs across the
+	// experiment's trials (the bmexp -cache flag). Trials that rebuild
+	// the same DAG under the same decision-relevant options — common in
+	// sweeps that vary a simulation-side parameter over a fixed workload
+	// grid — schedule once and hit thereafter. Results are unchanged:
+	// every trial pins its own seed explicitly, so the batch-level
+	// uniform-seed policy of core.ScheduleBatch never applies here.
+	Cache core.ScheduleCache
+}
+
+// options returns the paper-default scheduling options on procs
+// processors with the experiment's cache attached.
+func (c Config) options(procs int) core.Options {
+	o := core.DefaultOptions(procs)
+	o.Cache = c.Cache
+	return o
 }
 
 func (c Config) withDefaults() Config {

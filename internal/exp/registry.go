@@ -72,6 +72,9 @@ func Run(name string, cfg Config) (Renderer, error) {
 	if !ok {
 		return nil, fmt.Errorf("exp: unknown experiment %q (have %v)", name, Names())
 	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("exp: Workers = %d, need >= 0", cfg.Workers)
+	}
 	start := time.Now()
 	out, err := r.run(cfg)
 	d := time.Since(start)

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"strings"
 
-	"barriermimd/internal/core"
 	"barriermimd/internal/metrics"
 )
 
@@ -48,7 +47,7 @@ func Study(cfg Config) (*StudyResult, error) {
 				ts := make([]float64, cfg.Runs)
 				counted := make([]bool, cfg.Runs)
 				err := cfg.forEach(cfg.Runs, func(r int) error {
-					sched, err := ScheduleOne(stmts, vars, cfg.seedAt(gridID, r), core.DefaultOptions(procs))
+					sched, err := ScheduleOne(stmts, vars, cfg.seedAt(gridID, r), cfg.options(procs))
 					if err != nil {
 						return err
 					}

@@ -36,6 +36,54 @@ func (c CacheStats) String() string {
 	return fmt.Sprintf("hits=%d misses=%d rate=%.1f%%", c.Hits, c.Misses, 100*c.HitRate())
 }
 
+// MemoStats counts the traffic of a content-addressed memoization layer
+// with bounded capacity and per-key singleflight, such as the schedule
+// cache in internal/schedcache. It extends CacheStats with the lifecycle
+// counters a bounded concurrent cache needs: evictions, singleflight
+// waits, and verification rejects.
+type MemoStats struct {
+	// Hits counts lookups served from a stored entry.
+	Hits uint64
+	// Misses counts lookups that computed and stored a new entry.
+	Misses uint64
+	// Waits counts lookups that found the key's computation already in
+	// flight and blocked on the winner instead of recomputing.
+	Waits uint64
+	// Evictions counts entries displaced by the capacity bound (LRU).
+	Evictions uint64
+	// Rejected counts lookups whose key matched a stored entry but whose
+	// exact verification failed (for the schedule cache: a fingerprint
+	// collision between non-identical graphs); the result is recomputed
+	// and the stored entry left in place.
+	Rejected uint64
+}
+
+// Lookups is the total number of cache queries.
+func (m MemoStats) Lookups() uint64 { return m.Hits + m.Misses + m.Waits + m.Rejected }
+
+// HitRate is the fraction of lookups served without a fresh computation
+// (hits plus singleflight waits), or 0 with no lookups.
+func (m MemoStats) HitRate() float64 {
+	if n := m.Lookups(); n > 0 {
+		return float64(m.Hits+m.Waits) / float64(n)
+	}
+	return 0
+}
+
+// Add accumulates another counter set into m.
+func (m *MemoStats) Add(o MemoStats) {
+	m.Hits += o.Hits
+	m.Misses += o.Misses
+	m.Waits += o.Waits
+	m.Evictions += o.Evictions
+	m.Rejected += o.Rejected
+}
+
+func (m MemoStats) String() string {
+	return fmt.Sprintf("hits=%d misses=%d waits=%d evictions=%d rejected=%d rate=%.1f%%",
+		m.Hits, m.Misses, m.Waits, m.Evictions, m.Rejected, 100*m.HitRate())
+}
+
 // SimStats counts the simulation engine's compile/run split: how many
 // immutable plans were compiled, how many executions they served, and how
 // often a run's scratch state came from the recycle pool instead of a

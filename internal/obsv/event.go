@@ -59,23 +59,50 @@ const (
 	// time.
 	KindRunEnd
 
+	// Schedule-cache events (internal/schedcache). Tick is 0: cache
+	// traffic happens between scheduling runs, outside both logical
+	// clocks. Arg0/Arg1 carry the high/low words of the request's
+	// 128-bit canonical DAG fingerprint (bit-cast to int64), which is a
+	// pure function of the graph's content and therefore deterministic;
+	// which kind fires for a given request depends on the process's cache
+	// state and concurrency, so cached trace streams are deterministic
+	// only for a deterministic request sequence.
+
+	// KindSchedCacheHit: a ScheduleDAG request was served from the cache
+	// without scheduling. Arg0/Arg1=fingerprint, Arg2=1 if the cached
+	// schedule was rebound onto a distinct (but identical) graph object.
+	KindSchedCacheHit
+	// KindSchedCacheMiss: the request scheduled its DAG and stored the
+	// result. Arg0/Arg1=fingerprint.
+	KindSchedCacheMiss
+	// KindSchedCacheWait: the request found the same key already being
+	// computed and blocked on the winner. Arg0/Arg1=fingerprint.
+	KindSchedCacheWait
+	// KindSchedCacheEvict: storing a new entry displaced the least
+	// recently used one. Arg0/Arg1=the evicted entry's fingerprint.
+	KindSchedCacheEvict
+
 	numKinds
 )
 
 var kindNames = [numKinds]string{
-	KindNone:          "none",
-	KindBarrierInsert: "barrier-insert",
-	KindBarrierMerge:  "barrier-merge",
-	KindMergeReject:   "merge-reject",
-	KindRollback:      "rollback",
-	KindRepair:        "repair",
-	KindGraphPatch:    "graph-patch",
-	KindGraphRebuild:  "graph-rebuild",
-	KindCacheStats:    "cache-stats",
-	KindSchedDone:     "sched-done",
-	KindRunStart:      "run-start",
-	KindBarrierFire:   "barrier-fire",
-	KindRunEnd:        "run-end",
+	KindNone:            "none",
+	KindBarrierInsert:   "barrier-insert",
+	KindBarrierMerge:    "barrier-merge",
+	KindMergeReject:     "merge-reject",
+	KindRollback:        "rollback",
+	KindRepair:          "repair",
+	KindGraphPatch:      "graph-patch",
+	KindGraphRebuild:    "graph-rebuild",
+	KindCacheStats:      "cache-stats",
+	KindSchedDone:       "sched-done",
+	KindRunStart:        "run-start",
+	KindBarrierFire:     "barrier-fire",
+	KindRunEnd:          "run-end",
+	KindSchedCacheHit:   "sched-cache-hit",
+	KindSchedCacheMiss:  "sched-cache-miss",
+	KindSchedCacheWait:  "sched-cache-wait",
+	KindSchedCacheEvict: "sched-cache-evict",
 }
 
 func (k Kind) String() string {

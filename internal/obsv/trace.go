@@ -101,16 +101,20 @@ func chromeArgs(ev Event) string {
 // kindArgNames maps each kind's Arg0..Arg2 to its schema field name; ""
 // marks an unused slot.
 var kindArgNames = [numKinds][3]string{
-	KindBarrierInsert: {"barrier", "producer_proc", "consumer_proc"},
-	KindBarrierMerge:  {"into", "folded", "participants"},
-	KindMergeReject:   {"barrier_a", "barrier_b", ""},
-	KindRollback:      {"barrier", "", ""},
-	KindRepair:        {"producer_node", "consumer_node", ""},
-	KindGraphPatch:    {"barrier", "", ""},
-	KindGraphRebuild:  {"live_barriers", "", ""},
-	KindCacheStats:    {"hits", "misses", ""},
-	KindSchedDone:     {"barriers", "merged", "repaired"},
-	KindRunStart:      {"seed", "policy", "barrier_cost"},
-	KindBarrierFire:   {"barrier", "participants", ""},
-	KindRunEnd:        {"finish", "", ""},
+	KindBarrierInsert:   {"barrier", "producer_proc", "consumer_proc"},
+	KindBarrierMerge:    {"into", "folded", "participants"},
+	KindMergeReject:     {"barrier_a", "barrier_b", ""},
+	KindRollback:        {"barrier", "", ""},
+	KindRepair:          {"producer_node", "consumer_node", ""},
+	KindGraphPatch:      {"barrier", "", ""},
+	KindGraphRebuild:    {"live_barriers", "", ""},
+	KindCacheStats:      {"hits", "misses", ""},
+	KindSchedDone:       {"barriers", "merged", "repaired"},
+	KindRunStart:        {"seed", "policy", "barrier_cost"},
+	KindBarrierFire:     {"barrier", "participants", ""},
+	KindRunEnd:          {"finish", "", ""},
+	KindSchedCacheHit:   {"fp_hi", "fp_lo", "rebound"},
+	KindSchedCacheMiss:  {"fp_hi", "fp_lo", ""},
+	KindSchedCacheWait:  {"fp_hi", "fp_lo", ""},
+	KindSchedCacheEvict: {"fp_hi", "fp_lo", ""},
 }

@@ -1,0 +1,450 @@
+package schedcache_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"barriermimd/internal/core"
+	"barriermimd/internal/dag"
+	"barriermimd/internal/metrics"
+	"barriermimd/internal/obsv"
+	"barriermimd/internal/schedcache"
+)
+
+func exportJSON(t *testing.T, s *core.Schedule) []byte {
+	t.Helper()
+	j, err := s.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// TestCacheHitsAreByteIdenticalToFreshRuns is the cache identity oracle:
+// across machines, insertion policies, and seeds, the schedule served on a
+// hit must export byte-identically to an uncached ScheduleDAG run with the
+// same arguments.
+func TestCacheHitsAreByteIdenticalToFreshRuns(t *testing.T) {
+	cases := []struct {
+		name      string
+		stmts     int
+		procs     int
+		machine   core.MachineKind
+		insertion core.Insertion
+		seed      int64
+		pathLimit int
+	}{
+		{"sbm-conservative", 30, 4, core.SBM, core.Conservative, 1, 0},
+		{"sbm-optimal", 30, 8, core.SBM, core.Optimal, 2, 0},
+		{"sbm-naive", 25, 4, core.SBM, core.Naive, 3, 0},
+		{"dbm-conservative", 35, 8, core.DBM, core.Conservative, 4, 0},
+		{"dbm-optimal", 30, 6, core.DBM, core.Optimal, 5, 0},
+		{"sbm-optimal-k2", 30, 8, core.SBM, core.Optimal, 6, 2},
+		{"dbm-seeded", 35, 8, core.DBM, core.Conservative, 99, 0},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			g := synthGraph(t, tc.stmts, 5, tc.seed)
+			opts := core.DefaultOptions(tc.procs)
+			opts.Machine = tc.machine
+			opts.Insertion = tc.insertion
+			opts.Seed = tc.seed
+			opts.PathLimit = tc.pathLimit
+
+			fresh, err := core.ScheduleDAG(g, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := exportJSON(t, fresh)
+
+			c := schedcache.New(0)
+			miss, err := c.Schedule(g, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hit, err := c.Schedule(g, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := exportJSON(t, miss); !bytes.Equal(got, want) {
+				t.Fatalf("miss-path schedule differs from fresh run\ncached:\n%s\nfresh:\n%s", got, want)
+			}
+			if got := exportJSON(t, hit); !bytes.Equal(got, want) {
+				t.Fatalf("hit-path schedule differs from fresh run\ncached:\n%s\nfresh:\n%s", got, want)
+			}
+			if err := hit.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			st := c.Stats()
+			if st.Misses != 1 || st.Hits != 1 || st.Rejected != 0 {
+				t.Fatalf("stats = %v, want 1 miss + 1 hit", st)
+			}
+		})
+	}
+}
+
+// TestCacheKeySeparatesOptions: changing any decision-relevant option must
+// miss; changing only decision-irrelevant options must hit.
+func TestCacheKeySeparatesOptions(t *testing.T) {
+	g := synthGraph(t, 30, 5, 7)
+	base := core.DefaultOptions(4)
+	c := schedcache.New(0)
+	if _, err := c.Schedule(g, base); err != nil {
+		t.Fatal(err)
+	}
+
+	relevant := []func(*core.Options){
+		func(o *core.Options) { o.Processors = 8 },
+		func(o *core.Options) { o.Machine = core.DBM },
+		func(o *core.Options) { o.Insertion = core.Optimal },
+		func(o *core.Options) { o.Ordering = core.MinHeightFirst },
+		func(o *core.Options) { o.Assignment = core.RoundRobin },
+		func(o *core.Options) { o.Lookahead = 3 },
+		func(o *core.Options) { o.Seed = 42 },
+		func(o *core.Options) { o.Insertion = core.Optimal; o.PathLimit = 2 },
+	}
+	for i, mut := range relevant {
+		opts := base
+		mut(&opts)
+		before := c.Stats().Misses
+		if _, err := c.Schedule(g, opts); err != nil {
+			t.Fatal(err)
+		}
+		if c.Stats().Misses != before+1 {
+			t.Fatalf("mutation %d did not miss", i)
+		}
+	}
+
+	irrelevant := []func(*core.Options){
+		func(o *core.Options) { o.Parallelism = 7 },
+		func(o *core.Options) { o.ForceRebuild = true },
+		func(o *core.Options) { o.SelfCheck = true },
+		func(o *core.Options) { o.PathLimit = 64 }, // == implicit default
+	}
+	for i, mut := range irrelevant {
+		opts := base
+		mut(&opts)
+		before := c.Stats().Hits
+		if _, err := c.Schedule(g, opts); err != nil {
+			t.Fatal(err)
+		}
+		if c.Stats().Hits != before+1 {
+			t.Fatalf("irrelevant mutation %d did not hit", i)
+		}
+	}
+}
+
+// TestCacheReboundHit: a hit served to a distinct-but-Equal graph object
+// must be rebound onto the caller's graph and stay byte-identical.
+func TestCacheReboundHit(t *testing.T) {
+	const src = "c = a + b\nd = c * c\ne = d - a\nf = e + b"
+	g1 := buildGraph(t, src)
+	g2 := buildGraph(t, src)
+	opts := core.DefaultOptions(4)
+
+	c := schedcache.New(0)
+	s1, err := c.Schedule(g1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obsv.NewRing(16)
+	opts.Recorder = rec
+	s2, err := c.Schedule(g2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %v, want 1 hit + 1 miss", st)
+	}
+	if s2.Graph != g2 {
+		t.Fatal("hit schedule not rebound onto the caller's graph")
+	}
+	if s2.Procs == nil || &s2.Procs[0] != &s1.Procs[0] {
+		t.Fatal("rebound schedule must share timelines with the cached one")
+	}
+	if !bytes.Equal(exportJSON(t, s1), exportJSON(t, s2)) {
+		t.Fatal("rebound schedule exports differently")
+	}
+	var sawHit bool
+	rec.Do(func(ev obsv.Event) {
+		if ev.Kind == obsv.KindSchedCacheHit && ev.Arg2 == 1 {
+			sawHit = true
+		}
+	})
+	if !sawHit {
+		t.Fatal("no rebound sched-cache-hit event recorded")
+	}
+}
+
+// TestCacheRejectsIsomorphCollisions: isomorphic-but-reindexed graphs share
+// a fingerprint by design, but the scheduler is not permutation-equivariant,
+// so the cache must refuse to serve one's schedule for the other.
+func TestCacheRejectsIsomorphCollisions(t *testing.T) {
+	g1, g2 := isomorphPair(t)
+	if schedcache.FingerprintOf(g1) != schedcache.FingerprintOf(g2) {
+		t.Skip("pair no longer collides; fingerprint got stronger than isomorphism")
+	}
+	opts := core.DefaultOptions(3)
+	opts.Seed = 11
+
+	c := schedcache.New(0)
+	if _, err := c.Schedule(g1, opts); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := c.Schedule(g2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Rejected != 1 {
+		t.Fatalf("stats = %v, want exactly one rejection", st)
+	}
+	fresh, err := core.ScheduleDAG(g2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(exportJSON(t, s2), exportJSON(t, fresh)) {
+		t.Fatal("rejected-path schedule differs from fresh run")
+	}
+	if s2.Graph != g2 {
+		t.Fatal("rejected-path schedule carries the wrong graph")
+	}
+}
+
+// TestCacheSingleflight: concurrent requests for one novel key must compute
+// it exactly once; everyone else hits or waits.
+func TestCacheSingleflight(t *testing.T) {
+	g := synthGraph(t, 60, 6, 13)
+	opts := core.DefaultOptions(8)
+	opts.Insertion = core.Optimal
+	c := schedcache.New(0)
+
+	const workers = 16
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	scheds := make([]*core.Schedule, workers)
+	for i := 0; i < workers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			s, err := c.Schedule(g, opts)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			scheds[i] = s
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("stats = %v, want exactly 1 miss (singleflight)", st)
+	}
+	if st.Hits+st.Waits != workers-1 {
+		t.Fatalf("stats = %v, want hits+waits = %d", st, workers-1)
+	}
+	for i := 1; i < workers; i++ {
+		if scheds[i] != scheds[0] {
+			t.Fatal("same graph object must yield the shared schedule")
+		}
+	}
+}
+
+// TestCacheEvictionUnderConcurrentLoad drives a tiny cache from many
+// goroutines (run under -race in CI) and checks the bound holds and
+// results stay valid.
+func TestCacheEvictionUnderConcurrentLoad(t *testing.T) {
+	const capacity = 16
+	c := schedcache.New(capacity)
+	graphs := make([]*dag.Graph, 48)
+	for i := range graphs {
+		graphs[i] = synthGraph(t, 20, 4, int64(100+i))
+	}
+	opts := core.DefaultOptions(4)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 3; rep++ {
+				for i := range graphs {
+					g := graphs[(i+w*7)%len(graphs)]
+					s, err := c.Schedule(g, opts)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if err := s.Validate(); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("stats = %v, want evictions under a %d-entry bound with %d keys", st, capacity, len(graphs))
+	}
+	if n := c.Len(); n > capacity {
+		t.Fatalf("cache holds %d entries, bound is %d", n, capacity)
+	}
+	if st.Lookups() != 8*3*uint64(len(graphs)) {
+		t.Fatalf("stats = %v, lookups don't add up to %d", st, 8*3*len(graphs))
+	}
+}
+
+// TestCacheWarmHitDoesNotAllocate pins the 0-alloc hot path: a warm hit
+// with a pointer-identical graph performs no allocations.
+func TestCacheWarmHitDoesNotAllocate(t *testing.T) {
+	g := synthGraph(t, 40, 5, 17)
+	opts := core.DefaultOptions(8)
+	c := schedcache.New(0)
+	if _, err := c.Schedule(g, opts); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := c.Schedule(g, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm pointer-identical hit allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+// TestScheduleDAGDelegatesToCache: core.ScheduleDAG with Options.Cache set
+// must route through the cache (and not recurse into it).
+func TestScheduleDAGDelegatesToCache(t *testing.T) {
+	g := synthGraph(t, 25, 4, 19)
+	c := schedcache.New(0)
+	opts := core.DefaultOptions(4)
+	opts.Cache = c
+
+	s1, err := core.ScheduleDAG(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := core.ScheduleDAG(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Fatal("second ScheduleDAG call did not return the cached schedule")
+	}
+	if st := c.Stats(); st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("stats = %v, want 1 miss + 1 hit", st)
+	}
+	if s1.Opts.Cache != nil || s1.Opts.Recorder != nil {
+		t.Fatal("cached schedule retains Cache/Recorder references")
+	}
+}
+
+// TestSchedulePlanSharesCompiledPlan: the lazily attached machine plan is
+// compiled once per entry and shared.
+func TestSchedulePlanSharesCompiledPlan(t *testing.T) {
+	g := synthGraph(t, 30, 5, 23)
+	opts := core.DefaultOptions(4)
+	c := schedcache.New(0)
+
+	s1, p1, err := c.SchedulePlan(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, p2, err := c.SchedulePlan(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 || p1 != p2 {
+		t.Fatal("plan not shared across SchedulePlan calls")
+	}
+	if p1 == nil {
+		t.Fatal("nil plan")
+	}
+}
+
+// TestScheduleBatchCachedDedupesAndStaysDeterministic: a duplicate-heavy
+// batch under a cache must (a) schedule each distinct DAG once, (b) match
+// per-item cache calls with the uniform batch seed at every index, and
+// (c) produce byte-identical results and trace streams at every
+// Parallelism value.
+func TestScheduleBatchCachedDedupesAndStaysDeterministic(t *testing.T) {
+	uniques := make([]*dag.Graph, 4)
+	for i := range uniques {
+		uniques[i] = synthGraph(t, 25, 4, int64(31+i))
+	}
+	// 12 items, 8 of them duplicates of the 4 unique graphs.
+	gs := []*dag.Graph{
+		uniques[0], uniques[1], uniques[0], uniques[2],
+		uniques[1], uniques[3], uniques[0], uniques[2],
+		uniques[1], uniques[3], uniques[0], uniques[2],
+	}
+
+	opts := core.DefaultOptions(4)
+	opts.Seed = 5
+
+	runBatch := func(par int) ([]*core.Schedule, string, metrics.MemoStats) {
+		c := schedcache.New(0)
+		o := opts
+		o.Cache = c
+		o.Parallelism = par
+		ring := obsv.NewRing(1 << 12)
+		o.Recorder = ring
+		out, err := core.ScheduleBatch(gs, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var trace bytes.Buffer
+		if err := obsv.WriteJSONL(&trace, ring); err != nil {
+			t.Fatal(err)
+		}
+		return out, trace.String(), c.Stats()
+	}
+
+	out1, trace1, st := runBatch(1)
+	if st.Misses != uint64(len(uniques)) {
+		t.Fatalf("stats = %v, want %d misses for %d distinct DAGs", st, len(uniques), len(uniques))
+	}
+	if st.Hits != uint64(len(gs)-len(uniques)) {
+		t.Fatalf("stats = %v, want %d hits", st, len(gs)-len(uniques))
+	}
+
+	// Oracle: every item equals a per-item cache call with the uniform
+	// batch seed (which in turn is byte-identical to uncached ScheduleDAG,
+	// per the identity-oracle test).
+	oracle := schedcache.New(0)
+	for i, g := range gs {
+		want, err := oracle.Schedule(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(exportJSON(t, out1[i]), exportJSON(t, want)) {
+			t.Fatalf("batch item %d differs from per-item schedule", i)
+		}
+		if out1[i].Graph != gs[i] {
+			t.Fatalf("batch item %d not bound to its own graph", i)
+		}
+	}
+
+	for _, par := range []int{2, 8} {
+		out, trace, _ := runBatch(par)
+		if trace != trace1 {
+			t.Fatalf("Parallelism=%d changed the cached batch trace stream", par)
+		}
+		for i := range out {
+			if !bytes.Equal(exportJSON(t, out[i]), exportJSON(t, out1[i])) {
+				t.Fatalf("Parallelism=%d changed batch item %d", par, i)
+			}
+		}
+	}
+}
