@@ -4,11 +4,11 @@ GO ?= go
 # count, and memory reporting (set BENCHMEM= to drop allocs/op columns,
 # BENCH=. to run every benchmark).
 BASE ?= HEAD~1
-BENCH ?= BenchmarkSchedule|BenchmarkSimulateSweep|BenchmarkCompilePlan
+BENCH ?= BenchmarkSchedule|BenchmarkSimulateSweep|BenchmarkSimulateLanes|BenchmarkCompilePlan
 COUNT ?= 10
 BENCHMEM ?= -benchmem
 
-.PHONY: build test race vet fmt-check bench benchcmp check docs-check trace
+.PHONY: build test race vet fmt-check bench bench-lanes benchcmp check docs-check trace
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,12 @@ fmt-check:
 
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH)' $(BENCHMEM) ./...
+
+# Scalar-vs-lane-parallel simulation throughput (BENCH_lanes.json):
+# 5 repetitions of BenchmarkSimulateLanes; take medians of the ns/seed
+# custom metric when updating the committed numbers.
+bench-lanes:
+	$(GO) test -run '^$$' -bench 'BenchmarkSimulateLanes' $(BENCHMEM) -count 5 .
 
 # Compare tier-1 benchmarks between a baseline ref (BASE, default HEAD~1)
 # and the working tree. The baseline is checked out into a throwaway git

@@ -67,6 +67,12 @@ type (
 	// shareable across goroutines, with per-run scratch recycled through an
 	// internal pool.
 	SimPlan = machine.Plan
+	// SimBatch is the pooled result of one lane-parallel multi-seed
+	// simulation (SimPlan.RunMany): per-lane times plus aggregate
+	// statistics, recycled via Release.
+	SimBatch = machine.BatchResult
+	// SimBatchSummary aggregates a batch's per-lane finish times.
+	SimBatchSummary = machine.BatchSummary
 	// MachineKind selects the barrier hardware model (SBM or DBM).
 	MachineKind = core.MachineKind
 	// SimStats are the process-wide simulation throughput counters.
@@ -189,11 +195,15 @@ func Simulate(s *Schedule, cfg SimConfig) (*Run, error) { return machine.Run(s, 
 // CompileSim lowers a schedule into an immutable simulation plan for the
 // given machine kind. Compile once, run many: SimPlan.Run executes the
 // plan with a per-run SimConfig, recycling all mutable state through a
-// pool, and is byte-identical to Simulate for the same inputs.
+// pool, and is byte-identical to Simulate for the same inputs. For
+// seed sweeps, SimPlan.RunMany simulates a whole seed slice per call
+// through the lane-parallel batch kernel — each lane byte-identical to
+// the corresponding SimPlan.Run — returning a pooled SimBatch.
 func CompileSim(s *Schedule, kind MachineKind) (*SimPlan, error) { return machine.Compile(s, kind) }
 
 // SimulationStats snapshots the process-wide simulation counters (plans
-// compiled, plan runs, scratch pool hits/misses).
+// compiled, plan runs, lane-parallel batches/lanes, scratch pool
+// hits/misses).
 func SimulationStats() SimStats { return machine.Stats() }
 
 // NewTraceRing returns a trace recorder holding the newest capacity

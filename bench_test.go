@@ -6,6 +6,7 @@ package barriermimd
 // per iteration; run cmd/bmexp for paper-scale populations.
 
 import (
+	"fmt"
 	"testing"
 
 	"barriermimd/internal/bdag"
@@ -196,6 +197,59 @@ func BenchmarkSimulateSweep(b *testing.B) {
 				r.Release()
 			}
 		})
+	}
+}
+
+// BenchmarkSimulateLanes measures the lane-parallel batch kernel against
+// the scalar per-seed sweep on the standard synthetic workload. Each
+// scalar-W iteration runs W scalar Plan.Run calls; each lanes-W
+// iteration runs one RunMany over the same W seeds, so the ns/op ratio
+// at equal W is the batch speedup (also exposed per seed via the
+// ns/seed metric for cross-width comparison). The allocs/op column pins
+// the warm batch path at zero.
+func BenchmarkSimulateLanes(b *testing.B) {
+	g := benchGraph(b, 60, 10, 1)
+	s, err := core.ScheduleDAG(g, core.DefaultOptions(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, kind := range []core.MachineKind{core.SBM, core.DBM} {
+		plan, err := machine.Compile(s, kind)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := machine.Config{Policy: machine.RandomTimes}
+		b.Run(kind.String()+"/scalar-32", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for l := 0; l < 32; l++ {
+					cfg.Seed = int64(i*32 + l)
+					r, err := plan.Run(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					r.Release()
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*32), "ns/seed")
+		})
+		for _, lanes := range []int{8, 32, 128} {
+			seeds := make([]int64, lanes)
+			b.Run(fmt.Sprintf("%v/lanes-%d", kind, lanes), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					for l := range seeds {
+						seeds[l] = int64(i*lanes + l)
+					}
+					br, err := plan.RunMany(cfg, seeds)
+					if err != nil {
+						b.Fatal(err)
+					}
+					br.Release()
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*lanes), "ns/seed")
+			})
+		}
 	}
 }
 

@@ -193,10 +193,53 @@ func TestSimSeedSweep(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit %d", code)
 	}
-	for _, want := range []string{"seed sweep: 30 runs of one compiled plan", "finish min/median/max:", "sim stats: plans="} {
+	for _, want := range []string{"seed sweep: 30 runs of one compiled plan", "finish min/median/max:", "finish mean/stddev:", "sim stats: plans="} {
 		if !strings.Contains(out, want) {
 			t.Errorf("missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestSimLanesMatchScalar pins the tentpole CLI contract: the lane-width
+// knob changes throughput only, never the reported statistics. An odd
+// width forces a partial final batch.
+func TestSimLanesMatchScalar(t *testing.T) {
+	sweepLines := func(lanes string) string {
+		code, out, _ := runSim([]string{"-stmts", "20", "-vars", "6", "-runs", "1", "-seeds", "25", "-lanes", lanes}, t, "")
+		if code != 0 {
+			t.Fatalf("lanes=%s: exit %d", lanes, code)
+		}
+		var got []string
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, "finish ") {
+				got = append(got, line)
+			}
+		}
+		if len(got) != 2 {
+			t.Fatalf("lanes=%s: want 2 finish lines, got %q", lanes, got)
+		}
+		return strings.Join(got, "\n")
+	}
+	scalar := sweepLines("0")
+	for _, lanes := range []string{"7", "32"} {
+		if batched := sweepLines(lanes); batched != scalar {
+			t.Errorf("lanes=%s sweep diverged from scalar:\n%s\nvs\n%s", lanes, batched, scalar)
+		}
+	}
+}
+
+func TestSimNegativeSweepFlags(t *testing.T) {
+	if code, _, _ := runSim([]string{"-seeds", "-1"}, t, ""); code == 0 {
+		t.Error("accepted negative -seeds")
+	}
+	if code, _, _ := runSim([]string{"-lanes", "-1"}, t, ""); code == 0 {
+		t.Error("accepted negative -lanes")
+	}
+}
+
+func TestExpNegativeLanes(t *testing.T) {
+	if code, _, _ := runExpCmd([]string{"-experiment", "table1", "-lanes", "-2"}, t, ""); code == 0 {
+		t.Error("accepted negative -lanes")
 	}
 }
 
@@ -237,7 +280,7 @@ func TestExpSimStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{`"plans_compiled"`, `"runs"`, `"pool_hit_rate"`} {
+	for _, want := range []string{`"plans_compiled"`, `"runs"`, `"pool_hit_rate"`, `"batches"`, `"lanes"`, `"lanes_per_batch"`} {
 		if !strings.Contains(string(b), want) {
 			t.Errorf("simstats JSON missing %s:\n%s", want, b)
 		}

@@ -22,6 +22,7 @@ func Exp(args []string, stdout, stderr io.Writer) int {
 	runs := fs.Int("runs", 100, "benchmarks per parameter point (paper: 100)")
 	seed := fs.Int64("seed", 1, "base seed for benchmark generation")
 	workers := fs.Int("j", 0, "max concurrent trials (0 = all cores); results are identical for any value")
+	lanes := fs.Int("lanes", 0, "seeds per simulated benchmark in sweep experiments (0 = default 16); unlike -j this widens the sweep, so it changes reported means")
 	useCache := fs.Bool("cache", false, "memoize scheduling runs by DAG content across trials; results are identical either way")
 	cacheSize := fs.Int("cachesize", schedcache.DefaultCapacity, "with -cache: max resident schedules before LRU eviction")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -46,6 +47,9 @@ func Exp(args []string, stdout, stderr io.Writer) int {
 	}
 	if *workers < 0 {
 		return fail(stderr, "bmexp", fmt.Errorf("-j = %d, need >= 0", *workers))
+	}
+	if *lanes < 0 {
+		return fail(stderr, "bmexp", fmt.Errorf("-lanes = %d, need >= 0", *lanes))
 	}
 
 	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
@@ -75,7 +79,7 @@ func Exp(args []string, stdout, stderr io.Writer) int {
 		// experiments this invocation ran.
 		machine.ResetStats()
 	}
-	cfg := exp.Config{Runs: *runs, Seed: *seed, Workers: *workers}
+	cfg := exp.Config{Runs: *runs, Seed: *seed, Workers: *workers, Lanes: *lanes}
 	var cache *schedcache.Cache
 	if *useCache {
 		cache = schedcache.New(*cacheSize)
@@ -109,7 +113,11 @@ func Exp(args []string, stdout, stderr io.Writer) int {
 			ScratchHits   uint64  `json:"scratch_hits"`
 			ScratchMisses uint64  `json:"scratch_misses"`
 			PoolHitRate   float64 `json:"pool_hit_rate"`
-		}{st.PlansCompiled, st.Runs, st.RunsPerPlan(), st.ScratchHits, st.ScratchMisses, st.PoolHitRate()}, "", "  ")
+			Batches       uint64  `json:"batches"`
+			Lanes         uint64  `json:"lanes"`
+			LanesPerBatch float64 `json:"lanes_per_batch"`
+		}{st.PlansCompiled, st.Runs, st.RunsPerPlan(), st.ScratchHits, st.ScratchMisses, st.PoolHitRate(),
+			st.Batches, st.Lanes, st.LanesPerBatch()}, "", "  ")
 		if err != nil {
 			return fail(stderr, "bmexp", err)
 		}

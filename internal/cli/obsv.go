@@ -150,6 +150,8 @@ func collectSim(w *obsv.PromWriter) {
 	w.Counter("barriermimd_sim_runs_total", "Compiled-plan executions (Plan.Run).", "", st.Runs)
 	w.Counter("barriermimd_sim_scratch_hits_total", "Plan runs whose scratch state was recycled from the pool.", "", st.ScratchHits)
 	w.Counter("barriermimd_sim_scratch_misses_total", "Plan runs that allocated fresh scratch state.", "", st.ScratchMisses)
+	w.Counter("barriermimd_sim_batches_total", "Lane-parallel batch executions (Plan.RunMany).", "", st.Batches)
+	w.Counter("barriermimd_sim_lanes_total", "Seeds simulated by lane-parallel batches (each lane also counts into runs_total).", "", st.Lanes)
 	enabled := 0.0
 	if machine.RunTimingEnabled() {
 		enabled = 1

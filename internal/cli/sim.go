@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 
 	"barriermimd/internal/core"
@@ -37,7 +38,8 @@ func Sim(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	machineName := fs.String("machine", "sbm", "sbm or dbm")
 	runs := fs.Int("runs", 20, "random-timing executions to simulate")
 	seed := fs.Int64("seed", 0, "base seed")
-	seeds := fs.Int("seeds", 0, "additionally sweep N seeds through the compiled plan (parallel) and report min/median/max finish")
+	seeds := fs.Int("seeds", 0, "additionally sweep N seeds through the compiled plan (parallel) and report finish-time statistics")
+	lanes := fs.Int("lanes", 32, "seed-sweep batch width: >0 runs the sweep through the lane-parallel RunMany kernel in batches of this size, 0 forces the scalar per-seed path")
 	policyName := fs.String("policy", "random", "timing policy: random, min, or max")
 	stmts := fs.Int("stmts", 40, "synthetic benchmark statements (no file given)")
 	vars := fs.Int("vars", 10, "synthetic benchmark variables (no file given)")
@@ -45,6 +47,12 @@ func Sim(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	obsvf := addObsvFlags(fs, true)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *seeds < 0 {
+		return fail(stderr, "bmsim", fmt.Errorf("-seeds = %d, need >= 0", *seeds))
+	}
+	if *lanes < 0 {
+		return fail(stderr, "bmsim", fmt.Errorf("-lanes = %d, need >= 0", *lanes))
 	}
 	session, err := obsvf.begin(stderr)
 	if err != nil {
@@ -133,7 +141,7 @@ func Sim(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "\nall %d executions satisfied every dependence within [%d,%d]\n", *runs, mn, mx)
 
 	if *seeds > 0 {
-		finishes, err := sweepSeeds(plan, policy, *seed, *seeds, session.recorder())
+		finishes, err := sweepSeeds(plan, policy, *seed, *seeds, *lanes, session.recorder())
 		if err != nil {
 			return fail(stderr, "bmsim", err)
 		}
@@ -142,6 +150,8 @@ func Sim(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			*seeds, opts.Machine, policy)
 		fmt.Fprintf(stdout, "finish min/median/max: %d / %d / %d\n",
 			finishes[0], finishes[len(finishes)/2], finishes[len(finishes)-1])
+		mean, std := meanStd(finishes)
+		fmt.Fprintf(stdout, "finish mean/stddev: %.1f / %.1f\n", mean, std)
 		fmt.Fprintf(stdout, "sim stats: %s\n", st.String())
 	}
 	if err := session.finish(stderr); err != nil {
@@ -150,15 +160,40 @@ func Sim(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// sweepSeeds runs the plan once per seed across the worker pool and
-// returns the finish times sorted ascending. The plan is shared: only the
-// per-run scratch (drawn from the plan's pool) is private to a worker.
+// sweepSeeds sweeps n consecutive seeds through the plan and returns the
+// finish times sorted ascending. With lanes > 0 the sweep runs through the
+// lane-parallel RunMany kernel in batches of that width (the kernel
+// parallelizes chunks across the worker pool internally); with lanes == 0
+// it falls back to scalar per-seed runs fanned across the pool.
 //
-// With a non-nil recorder, every seed records into a private ring sized
-// for exactly one run's events, and the rings are replayed in seed order
-// after the sweep — the merged stream is byte-identical for every worker
-// count.
-func sweepSeeds(plan *machine.Plan, policy machine.Policy, base int64, n int, rec obsv.Recorder) ([]int, error) {
+// Both paths produce byte-identical traces for any lane or worker count:
+// RunMany replays each batch's events in lane index order after the batch
+// completes, and the scalar path records every seed into a private ring
+// replayed in seed order — either way the merged stream is the seeds'
+// events in ascending seed order.
+func sweepSeeds(plan *machine.Plan, policy machine.Policy, base int64, n, lanes int, rec obsv.Recorder) ([]int, error) {
+	if lanes > 0 {
+		finishes := make([]int, 0, n)
+		batch := make([]int64, lanes)
+		for lo := 0; lo < n; lo += lanes {
+			hi := lo + lanes
+			if hi > n {
+				hi = n
+			}
+			seeds := batch[:hi-lo]
+			for i := range seeds {
+				seeds[i] = base + int64(lo+i)
+			}
+			br, err := plan.RunMany(machine.Config{Policy: policy, Recorder: rec}, seeds)
+			if err != nil {
+				return nil, err
+			}
+			finishes = append(finishes, br.FinishTimes...)
+			br.Release()
+		}
+		sort.Ints(finishes)
+		return finishes, nil
+	}
 	var rings []*obsv.Ring
 	if rec != nil {
 		perRun := plan.NumBarriers() + 2 // run-start + fired barriers + run-end
@@ -189,4 +224,25 @@ func sweepSeeds(plan *machine.Plan, policy machine.Policy, base int64, n int, re
 	}
 	sort.Ints(finishes)
 	return finishes, nil
+}
+
+// meanStd returns the mean and population standard deviation of xs.
+func meanStd(xs []int) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += float64(x)
+	}
+	mean = sum / float64(len(xs))
+	var sq float64
+	for _, x := range xs {
+		d := float64(x) - mean
+		sq += d * d
+	}
+	if len(xs) > 1 {
+		std = math.Sqrt(sq / float64(len(xs)))
+	}
+	return mean, std
 }

@@ -121,9 +121,15 @@ func TestFig18Shape(t *testing.T) {
 	}
 	_, my := r.BarrierMax.Means()
 	_, ny := r.BarrierMin.Means()
+	_, sy := r.BarrierSim.Means()
 	for i := range my {
 		if ny[i] >= my[i] {
 			t.Errorf("min ratio %.3f not below max ratio %.3f", ny[i], my[i])
+		}
+		// Every simulated finish lies inside the schedule's static
+		// [min,max] window, so the lane-mean ratio must too.
+		if sy[i] < ny[i] || sy[i] > my[i] {
+			t.Errorf("sim ratio %.3f outside static envelope [%.3f,%.3f]", sy[i], ny[i], my[i])
 		}
 	}
 	// On ample processors: max ≈ VLIW, min meaningfully below.
@@ -214,7 +220,7 @@ func TestOptimalExperiment(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	names := Names()
-	if len(names) != 14 {
+	if len(names) != 15 {
 		t.Fatalf("registry has %d experiments: %v", len(names), names)
 	}
 	for _, n := range names {
@@ -278,6 +284,62 @@ func TestMIMDComparison(t *testing.T) {
 	}
 	if !strings.Contains(r.Render(), "Conventional MIMD") {
 		t.Error("render missing title")
+	}
+}
+
+func TestSimDist(t *testing.T) {
+	r, err := SimDist(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Lanes != DefaultLanes {
+		t.Errorf("Lanes = %d, want default %d", r.Lanes, DefaultLanes)
+	}
+	// The DBM fires each barrier the moment its participants arrive; the
+	// SBM additionally waits for compile-time queue order. On identical
+	// schedules and duration draws the DBM can never finish later.
+	if r.Ratio.Max > 1+1e-9 {
+		t.Errorf("DBM/SBM ratio max = %.4f, want <= 1", r.Ratio.Max)
+	}
+	if r.DBMMean.Mean > r.SBMMean.Mean+1e-9 {
+		t.Errorf("DBM mean %.1f above SBM mean %.1f", r.DBMMean.Mean, r.SBMMean.Mean)
+	}
+	if r.SBMStd.Mean <= 0 {
+		t.Errorf("SBM timing stddev %.3f, want > 0 under random timings", r.SBMStd.Mean)
+	}
+	out := r.Render()
+	for _, want := range []string{"SBM vs DBM", "DBM/SBM completion ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	if !strings.HasPrefix(r.CSV(), "machine,mean_finish,timing_stddev\n") {
+		t.Errorf("simdist csv header:\n%.80s", r.CSV())
+	}
+}
+
+// TestLanesChangeSweepNotShape: Lanes widens the per-trial seed sweep, so
+// reports legitimately differ numerically between widths — but the
+// structural invariants must hold at any width, and equal widths must
+// reproduce bit-identical reports.
+func TestLanesChangeSweepNotShape(t *testing.T) {
+	a, err := SimDist(Config{Runs: 4, Seed: 3, Lanes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimDist(Config{Runs: 4, Seed: 3, Lanes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Render() != b.Render() {
+		t.Error("equal-lane runs differ")
+	}
+	wide, err := SimDist(Config{Runs: 4, Seed: 3, Lanes: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.Ratio.Max > 1+1e-9 {
+		t.Errorf("ratio bound broken at 32 lanes: %.4f", wide.Ratio.Max)
 	}
 }
 

@@ -23,6 +23,8 @@ type MIMDResult struct {
 	// NaiveTime, ReducedTime, BarrierTime are mean completion times under
 	// random timings (conventional machines pay a 1-cycle send per sync
 	// and 1–8 cycles of network latency per token; barriers are free).
+	// BarrierTime averages a Config.Lanes-wide seed sweep per benchmark
+	// through the lane-parallel batch kernel.
 	NaiveTime, ReducedTime, BarrierTime metrics.Summary
 }
 
@@ -60,13 +62,13 @@ func MIMD(cfg Config) (*MIMDResult, error) {
 		if err != nil {
 			return err
 		}
-		br, err := plan.Run(machine.Config{Policy: machine.RandomTimes, Seed: seed})
+		br, err := plan.RunMany(machine.Config{Policy: machine.RandomTimes}, cfg.laneSeeds(seed))
 		if err != nil {
 			return err
 		}
 		nt[r] = float64(nr.FinishTime)
 		rt[r] = float64(rr.FinishTime)
-		bt[r] = float64(br.FinishTime)
+		bt[r] = br.Summary.Mean
 		br.Release()
 		return nil
 	})
@@ -109,8 +111,10 @@ type BarrierCostResult struct {
 }
 
 // BarrierCost sweeps the per-barrier hardware latency. Each benchmark's
-// schedule is compiled into a simulation plan once; the cost × seed sweep
-// then fans plan runs across the worker pool, recycling all per-run state.
+// schedule is compiled into a simulation plan once; each cost point then
+// sweeps a Config.Lanes-wide seed batch through every plan via the
+// lane-parallel kernel (trials fan across the worker pool on top),
+// recycling all per-run state.
 func BarrierCost(cfg Config) (*BarrierCostResult, error) {
 	cfg = cfg.withDefaults()
 	res := &BarrierCostResult{Costs: []int{0, 1, 2, 4, 8, 16}}
@@ -136,14 +140,17 @@ func BarrierCost(cfg Config) (*BarrierCostResult, error) {
 	for _, cost := range res.Costs {
 		ts := make([]float64, cfg.Runs)
 		err := cfg.forEach(cfg.Runs, func(i int) error {
-			run, err := plans[i].Run(machine.Config{
-				Policy: machine.RandomTimes, Seed: int64(i), BarrierCost: cost,
-			})
+			// Per-seed completion is monotone in cost (the fire order is
+			// cost-independent), so the lane mean inherits the paper's
+			// monotone sensitivity curve.
+			br, err := plans[i].RunMany(machine.Config{
+				Policy: machine.RandomTimes, BarrierCost: cost,
+			}, cfg.laneSeeds(int64(i)))
 			if err != nil {
 				return err
 			}
-			ts[i] = float64(run.FinishTime)
-			run.Release()
+			ts[i] = br.Summary.Mean
+			br.Release()
 			return nil
 		})
 		if err != nil {

@@ -30,7 +30,18 @@ type Config struct {
 	// every trial pins its own seed explicitly, so the batch-level
 	// uniform-seed policy of core.ScheduleBatch never applies here.
 	Cache core.ScheduleCache
+	// Lanes is the simulation batch width (the bmexp -lanes flag): how
+	// many timing seeds the simulation-bearing experiments sweep through
+	// Plan.RunMany per trial; 0 selects DefaultLanes. Lane seeds derive
+	// from the trial seed alone, so reports are bit-identical for every
+	// worker count (lane count changes which seeds are swept, so it IS
+	// report-affecting — unlike Workers).
+	Lanes int
 }
+
+// DefaultLanes is the simulation batch width experiments use when
+// Config.Lanes is zero.
+const DefaultLanes = 16
 
 // options returns the paper-default scheduling options on procs
 // processors with the experiment's cache attached.
@@ -43,6 +54,9 @@ func (c Config) options(procs int) core.Options {
 func (c Config) withDefaults() Config {
 	if c.Runs == 0 {
 		c.Runs = 100
+	}
+	if c.Lanes == 0 {
+		c.Lanes = DefaultLanes
 	}
 	return c
 }
@@ -84,6 +98,19 @@ func ScheduleOne(stmts, vars int, seed int64, opts core.Options) (*core.Schedule
 // seedAt derives the benchmark seed for run r at sweep position k.
 func (c Config) seedAt(k, r int) int64 {
 	return c.Seed + int64(k)*1_000_003 + int64(r)
+}
+
+// laneSeeds derives the timing seeds one trial sweeps through
+// Plan.RunMany. Lane 0 is the trial seed itself (preserving continuity
+// with the former single-run path); the rest stride by a large odd
+// constant so lane seeds of neighbouring trials — which seedAt spaces
+// one apart — never collide.
+func (c Config) laneSeeds(base int64) []int64 {
+	seeds := make([]int64, c.Lanes)
+	for j := range seeds {
+		seeds[j] = base + int64(j)*2_654_435_761
+	}
+	return seeds
 }
 
 // errTest supports the forEach unit test.

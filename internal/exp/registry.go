@@ -50,6 +50,8 @@ var registry = map[string]runner{
 		"Section 5.4: lookahead window sweep (serialization vs completion time)"},
 	"cfstudy": {func(c Config) (Renderer, error) { return CFStudy(c) },
 		"Extension: control-flow programs — per-block scheduling + control barriers"},
+	"simdist": {func(c Config) (Renderer, error) { return SimDist(c) },
+		"Extension: simulated completion distributions — SBM vs DBM on identical draws"},
 }
 
 // Names lists the registered experiments in sorted order.

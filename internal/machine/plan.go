@@ -59,7 +59,9 @@ type Plan struct {
 	// width (Max-Min+1), pre-split for the per-run duration draw.
 	minDur, spanDur []int32
 
-	pool sync.Pool // *scratch
+	pool      sync.Pool // *scratch
+	batchPool sync.Pool // *batchScratch (RunMany results)
+	chunkPool sync.Pool // *chunkScratch (RunMany worker state)
 }
 
 // Compile lowers a schedule into an immutable simulation plan for the given
@@ -255,6 +257,7 @@ type scratch struct {
 	done     int     // processors that ran off the end of their stream
 	qpos     int     // SBM: next queue entry
 	cal      calendar
+	released bool // guards release() against double-release
 
 	res Result
 }
@@ -286,7 +289,9 @@ func (p *Plan) newScratch() *scratch {
 func (p *Plan) getScratch() *scratch {
 	if v := p.pool.Get(); v != nil {
 		simStats.hits.Add(1)
-		return v.(*scratch)
+		sc := v.(*scratch)
+		sc.released = false
+		return sc
 	}
 	simStats.misses.Add(1)
 	return p.newScratch()
@@ -295,8 +300,14 @@ func (p *Plan) getScratch() *scratch {
 // release parks the scratch (and the Result embedded in it) back in the
 // plan's pool. Called by Result.Release and by Run's error paths. The
 // recorder reference is dropped so a pooled scratch cannot keep one
-// alive (or record into it) across runs.
+// alive (or record into it) across runs. A second release before the
+// next Run is a no-op: putting the same scratch in the pool twice would
+// hand it to two concurrent runs at once.
 func (sc *scratch) release() {
+	if sc.released {
+		return
+	}
+	sc.released = true
 	sc.rec = nil
 	sc.plan.pool.Put(sc)
 }

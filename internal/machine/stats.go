@@ -10,10 +10,12 @@ import (
 // counters are atomic so concurrent plan runs (the intended use) can bump
 // them without coordination.
 var simStats struct {
-	plans  atomic.Uint64
-	runs   atomic.Uint64
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	plans   atomic.Uint64
+	runs    atomic.Uint64
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	batches atomic.Uint64
+	lanes   atomic.Uint64
 }
 
 // Stats snapshots the process-wide simulation counters: plans compiled,
@@ -26,6 +28,8 @@ func Stats() metrics.SimStats {
 		Runs:          simStats.runs.Load(),
 		ScratchHits:   simStats.hits.Load(),
 		ScratchMisses: simStats.misses.Load(),
+		Batches:       simStats.batches.Load(),
+		Lanes:         simStats.lanes.Load(),
 	}
 }
 
@@ -36,6 +40,8 @@ func ResetStats() {
 	simStats.runs.Store(0)
 	simStats.hits.Store(0)
 	simStats.misses.Store(0)
+	simStats.batches.Store(0)
+	simStats.lanes.Store(0)
 }
 
 // Run-latency measurement is opt-in: a µs-scale Plan.Run would pay a

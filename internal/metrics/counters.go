@@ -97,6 +97,12 @@ type SimStats struct {
 	// pool; ScratchMisses counts runs that had to allocate a fresh one.
 	ScratchHits   uint64
 	ScratchMisses uint64
+	// Batches counts RunMany calls (lane-parallel batch executions);
+	// Lanes counts the seeds those batches simulated. Batched lanes are
+	// also counted in Runs, so Runs is the total seed count across both
+	// the scalar and batched paths.
+	Batches uint64
+	Lanes   uint64
 }
 
 // RunsPerPlan is Runs / PlansCompiled, or 0 with no plans — the
@@ -117,18 +123,34 @@ func (s SimStats) PoolHitRate() float64 {
 	return 0
 }
 
+// LanesPerBatch is Lanes / Batches, or 0 with no batches — the average
+// batch width the lane-parallel kernel is running at.
+func (s SimStats) LanesPerBatch() float64 {
+	if s.Batches > 0 {
+		return float64(s.Lanes) / float64(s.Batches)
+	}
+	return 0
+}
+
 // Add accumulates another counter set into s.
 func (s *SimStats) Add(o SimStats) {
 	s.PlansCompiled += o.PlansCompiled
 	s.Runs += o.Runs
 	s.ScratchHits += o.ScratchHits
 	s.ScratchMisses += o.ScratchMisses
+	s.Batches += o.Batches
+	s.Lanes += o.Lanes
 }
 
 func (s SimStats) String() string {
-	return fmt.Sprintf("plans=%d runs=%d (%.1f runs/plan) scratch hits=%d misses=%d (%.1f%% pooled)",
+	out := fmt.Sprintf("plans=%d runs=%d (%.1f runs/plan) scratch hits=%d misses=%d (%.1f%% pooled)",
 		s.PlansCompiled, s.Runs, s.RunsPerPlan(),
 		s.ScratchHits, s.ScratchMisses, 100*s.PoolHitRate())
+	if s.Batches > 0 {
+		out += fmt.Sprintf(" batches=%d lanes=%d (%.1f lanes/batch)",
+			s.Batches, s.Lanes, s.LanesPerBatch())
+	}
+	return out
 }
 
 // MaintStats counts how a derived structure (such as the scheduler's
