@@ -8,7 +8,7 @@ BENCH ?= BenchmarkSchedule|BenchmarkSimulateSweep|BenchmarkSimulateLanes|Benchma
 COUNT ?= 10
 BENCHMEM ?= -benchmem
 
-.PHONY: build test race vet fmt-check bench bench-lanes benchcmp check docs-check trace
+.PHONY: build test race vet fmt-check bench bench-lanes bench-serve benchcmp check docs-check trace
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,15 @@ bench:
 # custom metric when updating the committed numbers.
 bench-lanes:
 	$(GO) test -run '^$$' -bench 'BenchmarkSimulateLanes' $(BENCHMEM) -count 5 .
+
+# Coalesced vs batch-size-1 serving throughput (BENCH_serve.json):
+# 5 interleaved repetitions of each mode against an in-process bmserve
+# on the duplicate-heavy default workload (32 closed-loop clients over
+# 4 distinct programs); medians of the per-rep RPS and latency
+# percentiles are reported. SERVE_REPS=1 gives a quick smoke run.
+SERVE_REPS ?= 5
+bench-serve:
+	$(GO) run ./cmd/bmserve -bench -reps $(SERVE_REPS) -out BENCH_serve.json
 
 # Compare tier-1 benchmarks between a baseline ref (BASE, default HEAD~1)
 # and the working tree. The baseline is checked out into a throwaway git

@@ -1,0 +1,32 @@
+// Command bmserve is the scheduling-and-simulation daemon: an HTTP/JSON
+// service over the batch scheduling engine whose hot path coalesces
+// concurrent requests — grouped by scheduling options inside a bounded
+// time window — into single ScheduleBatch calls that share the schedule
+// cache, dedupe identical programs, and fan merged simulation sweeps
+// through the lane-parallel RunMany kernel. Responses are byte-identical
+// to bmsched -json and bmsim for the same inputs and seeds.
+//
+// Usage:
+//
+//	bmserve [-addr localhost:8080] [-window 2ms] [-maxbatch 64]
+//	        [-maxinflight 1024] [-timeout 10s] [-maxbody N]
+//	        [-cachesize N] [-j N] [-trace out.json]
+//	bmserve -loadgen [-url http://host:port] [-c 32] [-n 2048] ...
+//	bmserve -bench [-reps 5] [-out BENCH_serve.json] ...
+//
+// -window 0 disables coalescing (every request is its own batch), the
+// baseline the -bench mode compares against. The daemon drains
+// gracefully on SIGTERM/SIGINT: admission stops, parked requests finish
+// their batches, then the listener closes. /metrics, /debug/vars and
+// /debug/pprof are served on the same listener; see OBSERVABILITY.md.
+package main
+
+import (
+	"os"
+
+	"barriermimd/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Serve(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strings"
 
 	"barriermimd/internal/core"
 	"barriermimd/internal/dag"
@@ -12,6 +11,7 @@ import (
 	"barriermimd/internal/lang"
 	"barriermimd/internal/machine"
 	"barriermimd/internal/opt"
+	"barriermimd/internal/serve"
 )
 
 // readSource reads program text from the named file, or from stdin when
@@ -44,39 +44,21 @@ func buildDAG(b *ir.Block) (*dag.Graph, error) {
 	return dag.Build(b, ir.DefaultTimings())
 }
 
-// parseMachine maps a -machine flag value.
+// parseMachine maps a -machine flag value. The CLI flags and the
+// serving API accept the same names, so all three parsers delegate to
+// internal/serve — one vocabulary, no drifting copies.
 func parseMachine(name string) (core.MachineKind, error) {
-	switch strings.ToLower(name) {
-	case "sbm":
-		return core.SBM, nil
-	case "dbm":
-		return core.DBM, nil
-	}
-	return 0, fmt.Errorf("unknown machine %q (want sbm or dbm)", name)
+	return serve.ParseMachine(name)
 }
 
 // parsePolicy maps a -policy flag value.
 func parsePolicy(name string) (machine.Policy, error) {
-	switch strings.ToLower(name) {
-	case "random":
-		return machine.RandomTimes, nil
-	case "min":
-		return machine.MinTimes, nil
-	case "max":
-		return machine.MaxTimes, nil
-	}
-	return 0, fmt.Errorf("unknown policy %q (want random, min, or max)", name)
+	return serve.ParsePolicy(name)
 }
 
 // parseInsertion maps a -insertion flag value.
 func parseInsertion(name string) (core.Insertion, error) {
-	switch strings.ToLower(name) {
-	case "conservative":
-		return core.Conservative, nil
-	case "optimal":
-		return core.Optimal, nil
-	}
-	return 0, fmt.Errorf("unknown insertion %q (want conservative or optimal)", name)
+	return serve.ParseInsertion(name)
 }
 
 // fail prints a prefixed error and returns exit code 1.

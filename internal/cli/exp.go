@@ -45,11 +45,8 @@ func Exp(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
-	if *workers < 0 {
-		return fail(stderr, "bmexp", fmt.Errorf("-j = %d, need >= 0", *workers))
-	}
-	if *lanes < 0 {
-		return fail(stderr, "bmexp", fmt.Errorf("-lanes = %d, need >= 0", *lanes))
+	if err := nonNegative(intFlag{"j", *workers}, intFlag{"lanes", *lanes}); err != nil {
+		return fail(stderr, "bmexp", err)
 	}
 
 	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)

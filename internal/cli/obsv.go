@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -15,6 +16,7 @@ import (
 	"barriermimd/internal/obsv"
 	"barriermimd/internal/pool"
 	"barriermimd/internal/schedcache"
+	"barriermimd/internal/serve"
 )
 
 // obsvFlags holds the observability flags shared by the tools: -http
@@ -61,17 +63,36 @@ func (o *obsvFlags) begin(stderr io.Writer) (*obsvSession, error) {
 		s.path = *o.trace
 	}
 	if *o.httpAddr != "" {
-		// Run latency is only worth measuring while something scrapes it.
-		machine.EnableRunTiming(true)
-		srv, err := obsv.Serve(*o.httpAddr, DefaultRegistry())
+		srv, err := StartObsvServer(*o.httpAddr, stderr, nil)
 		if err != nil {
 			return nil, err
 		}
 		s.server = srv
 		s.wait = *o.httpWait
-		fmt.Fprintf(stderr, "observability: http://%s/metrics (Prometheus), /debug/vars, /debug/pprof\n", srv.Addr())
 	}
 	return s, nil
+}
+
+// StartObsvServer is the one place the tools bind their observability
+// listener: it enables run-latency timing (only worth measuring while
+// something scrapes it), builds the DefaultRegistry exposition mux,
+// lets the caller mount extra routes on it (bmserve adds its serving
+// API so one listener carries both), starts serving on addr, and
+// announces the endpoint on stderr. Centralizing this keeps every tool
+// from growing its own drifting copy of the setup and guarantees the
+// shared mux's handlers are registered exactly once.
+func StartObsvServer(addr string, stderr io.Writer, mount func(mux *http.ServeMux)) (*obsv.Server, error) {
+	machine.EnableRunTiming(true)
+	mux := DefaultRegistry().Mux()
+	if mount != nil {
+		mount(mux)
+	}
+	srv, err := obsv.ServeHandler(addr, mux)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(stderr, "observability: http://%s/metrics (Prometheus), /debug/vars, /debug/pprof\n", srv.Addr())
+	return srv, nil
 }
 
 // recorder returns the session's trace recorder (nil when -trace is
@@ -138,10 +159,38 @@ func DefaultRegistry() *obsv.Registry {
 	reg.Register("sim", obsv.CollectorFunc(collectSim))
 	reg.Register("sched", obsv.CollectorFunc(collectSched))
 	reg.Register("schedcache", obsv.CollectorFunc(collectSchedCache))
+	reg.Register("serve", obsv.CollectorFunc(collectServe))
 	reg.Register("exp", obsv.CollectorFunc(collectExp))
 	reg.Register("pool", obsv.CollectorFunc(collectPool))
 	reg.Register("runtime", obsv.CollectorFunc(collectRuntime))
 	return reg
+}
+
+func collectServe(w *obsv.PromWriter) {
+	st := serve.GlobalStats()
+	w.Counter("barriermimd_serve_requests_total", "Requests admitted by the serving layer.", "", st.Admitted)
+	w.Counter("barriermimd_serve_ok_total", "Requests answered 200.", "", st.Ok)
+	w.Counter("barriermimd_serve_bad_request_total", "Requests rejected 400 (malformed body, bad options, compile errors).", "", st.BadRequest)
+	w.Counter("barriermimd_serve_too_large_total", "Requests rejected 413 (body over the configured bound).", "", st.TooLarge)
+	w.Counter("barriermimd_serve_overload_total", "Requests rejected 429 by admission control.", "", st.Overloaded)
+	w.Counter("barriermimd_serve_timeout_total", "Requests that hit their deadline before their batch completed (504).", "", st.TimedOut)
+	w.Counter("barriermimd_serve_error_total", "Requests failed 5xx.", "", st.Failed)
+	w.Counter("barriermimd_serve_batches_total", "Coalescer flushes.", "", st.Batches)
+	w.Counter("barriermimd_serve_coalesced_total", "Requests that went through a coalescing window.", "", st.Coalesced)
+	w.Counter("barriermimd_serve_shared_responses_total", "Requests served from a batchmate's response bytes (dedupe).", "", st.SharedResponses)
+	w.Counter("barriermimd_serve_sim_batches_total", "Merged lane-parallel RunMany calls issued by flushes.", "", st.SimBatches)
+	w.Counter("barriermimd_serve_sim_seeds_total", "Simulation lanes executed through merged RunMany calls.", "", st.SimSeeds)
+	w.Gauge("barriermimd_serve_queue_depth", "Requests currently parked in coalescing groups.", "", float64(st.Queued))
+	w.Gauge("barriermimd_serve_inflight", "Requests admitted and not yet answered.", "", float64(st.Inflight))
+	if st.BatchSize.Count > 0 {
+		w.CountHistogram("barriermimd_serve_batch_size", "Requests per coalesced batch.", "", st.BatchSize)
+	}
+	if st.CoalesceWait.Count > 0 {
+		w.Histogram("barriermimd_serve_coalesce_wait_seconds", "Enqueue-to-flush wait inside the coalescer.", "", st.CoalesceWait)
+	}
+	if st.Latency.Count > 0 {
+		w.Histogram("barriermimd_serve_request_seconds", "Admission-to-response wall time.", "", st.Latency)
+	}
 }
 
 func collectSim(w *obsv.PromWriter) {

@@ -40,8 +40,8 @@ func Sched(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(stderr, "bmsched", err)
 	}
-	if *workers < 0 {
-		return fail(stderr, "bmsched", fmt.Errorf("-j = %d, need >= 0", *workers))
+	if err := nonNegative(intFlag{"j", *workers}); err != nil {
+		return fail(stderr, "bmsched", err)
 	}
 
 	opts := core.DefaultOptions(*procs)

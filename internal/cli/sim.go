@@ -48,11 +48,8 @@ func Sim(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *seeds < 0 {
-		return fail(stderr, "bmsim", fmt.Errorf("-seeds = %d, need >= 0", *seeds))
-	}
-	if *lanes < 0 {
-		return fail(stderr, "bmsim", fmt.Errorf("-lanes = %d, need >= 0", *lanes))
+	if err := nonNegative(intFlag{"seeds", *seeds}, intFlag{"lanes", *lanes}); err != nil {
+		return fail(stderr, "bmsim", err)
 	}
 	session, err := obsvf.begin(stderr)
 	if err != nil {

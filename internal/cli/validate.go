@@ -1,0 +1,22 @@
+package cli
+
+import "fmt"
+
+// intFlag names one parsed integer flag for validation.
+type intFlag struct {
+	name string
+	val  int
+}
+
+// nonNegative returns an error naming the first flag with a negative
+// value. Every tool funnels its count-valued flags (-j, -seeds, -lanes,
+// worker and batch bounds) through this one check instead of keeping
+// per-CLI copies of the comparison and message.
+func nonNegative(flags ...intFlag) error {
+	for _, f := range flags {
+		if f.val < 0 {
+			return fmt.Errorf("-%s = %d, need >= 0", f.name, f.val)
+		}
+	}
+	return nil
+}

@@ -3,6 +3,9 @@ package lang
 import (
 	"strings"
 	"testing"
+
+	"barriermimd/internal/ir"
+	"barriermimd/internal/opt"
 )
 
 // FuzzParse checks the flat parser never panics and either returns a
@@ -37,6 +40,48 @@ func FuzzParse(f *testing.F) {
 		}
 		if p.String() != again.String() {
 			t.Errorf("round trip mismatch:\n%s\nvs\n%s", p.String(), again.String())
+		}
+	})
+}
+
+// FuzzCompile drives parseable inputs through the whole front half of
+// the serving pipeline — Parse, Compile, Optimize, timing annotation —
+// checking no stage panics and every compiled block stays well formed.
+func FuzzCompile(f *testing.F) {
+	for _, seed := range []string{
+		"a = b + c",
+		"t = a * b\nu = t + c\nv = u % 9",
+		"a = 1; b = a | a & a; c = b - -b",
+		"x = (((((a)))))",
+		"long0 = long1 / long2\nlong1 = long0 * long0",
+		"a = 0 % 0",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		block, err := Compile(p)
+		if err != nil {
+			// Compile may reject semantically bad programs, but only via
+			// errors, never panics.
+			return
+		}
+		optimized, _, err := opt.Optimize(block)
+		if err != nil {
+			t.Fatalf("Optimize failed on compiled block: %v\n%s", err, src)
+		}
+		if err := optimized.Validate(); err != nil {
+			t.Fatalf("Optimize produced an invalid block: %v\n%s", err, src)
+		}
+		// Every optimized tuple must still have a usable timing range.
+		tm := ir.DefaultTimings()
+		for i, tup := range optimized.Tuples {
+			if tg := tm.Of(tup.Op); tg.Min < 1 || tg.Max < tg.Min {
+				t.Fatalf("tuple %d (%v): unusable timing %v", i, tup.Op, tg)
+			}
 		}
 	})
 }

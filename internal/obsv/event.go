@@ -82,6 +82,24 @@ const (
 	// recently used one. Arg0/Arg1=the evicted entry's fingerprint.
 	KindSchedCacheEvict
 
+	// Serving events (internal/serve). Tick is 0: request arrival and
+	// batch formation are wall-clock phenomena outside both logical
+	// clocks, and unlike every other domain these events depend on
+	// request timing, so served trace streams are not deterministic.
+
+	// KindServeBatch: the coalescer flushed one batch. Arg0=requests in
+	// the batch, Arg1=unique (source, options) groups after dedupe,
+	// Arg2=flush trigger (0=window expiry, 1=batch full, 2=adaptive
+	// drain after a completing flush, 3=direct, coalescing off).
+	KindServeBatch
+	// KindServeRequest: one admitted request completed. Arg0=endpoint
+	// (0=schedule, 1=simulate), Arg1=outcome (0=ok, 1=bad request,
+	// 2=timeout, 3=error), Arg2=size of the batch that served it.
+	KindServeRequest
+	// KindServeOverload: admission control rejected a request with 429.
+	// Arg0=in-flight requests at rejection.
+	KindServeOverload
+
 	numKinds
 )
 
@@ -103,6 +121,9 @@ var kindNames = [numKinds]string{
 	KindSchedCacheMiss:  "sched-cache-miss",
 	KindSchedCacheWait:  "sched-cache-wait",
 	KindSchedCacheEvict: "sched-cache-evict",
+	KindServeBatch:      "serve-batch",
+	KindServeRequest:    "serve-request",
+	KindServeOverload:   "serve-overload",
 }
 
 func (k Kind) String() string {

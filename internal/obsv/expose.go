@@ -1,6 +1,7 @@
 package obsv
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"io"
@@ -100,6 +101,29 @@ func (p *PromWriter) Gauge(name, help, labels string, v float64) {
 func (p *PromWriter) Histogram(name, help, labels string, h metrics.Histogram) {
 	p.header(name, help, "histogram")
 	p.histSamples(name, labels, h)
+}
+
+// CountHistogram writes one histogram family from a metrics.Histogram
+// whose observations are dimensionless counts (batch sizes, queue
+// lengths): bucket bounds are exported as raw numbers instead of being
+// converted from nanoseconds to seconds.
+func (p *PromWriter) CountHistogram(name, help, labels string, h metrics.Histogram) {
+	p.header(name, help, "histogram")
+	var cum uint64
+	for i := 0; i < metrics.HistBuckets; i++ {
+		cum += h.Bucket[i]
+		le := "+Inf"
+		if i < metrics.HistBuckets-1 {
+			le = formatFloat(float64(metrics.HistBucketBound(i)))
+		}
+		lb := fmt.Sprintf("le=%q", le)
+		if labels != "" {
+			lb = labels + "," + lb
+		}
+		p.sample(name, "_bucket", lb, fmt.Sprintf("%d", cum))
+	}
+	p.sample(name, "_sum", labels, formatFloat(float64(h.Sum)))
+	p.sample(name, "_count", labels, fmt.Sprintf("%d", h.Count))
 }
 
 // HistSample pairs one label set with its histogram for HistogramVec.
@@ -228,11 +252,19 @@ type Server struct {
 // Serve starts the observability endpoint on addr (e.g. "127.0.0.1:0")
 // and returns once the listener is bound. Close shuts it down.
 func Serve(addr string, r *Registry) (*Server, error) {
+	return ServeHandler(addr, r.Mux())
+}
+
+// ServeHandler starts an HTTP server on addr with a caller-built
+// handler (typically a Registry.Mux with extra routes mounted) and
+// returns once the listener is bound. Close shuts it down abruptly;
+// Shutdown drains in-flight requests first.
+func ServeHandler(addr string, h http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: r.Mux()}
+	srv := &http.Server{Handler: h}
 	go srv.Serve(ln)
 	return &Server{ln: ln, srv: srv}, nil
 }
@@ -242,3 +274,8 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 
 // Close stops the server and releases the listener.
 func (s *Server) Close() error { return s.srv.Close() }
+
+// Shutdown gracefully drains the server: the listener stops accepting,
+// in-flight requests run to completion (bounded by ctx), and then the
+// server closes. See net/http.Server.Shutdown.
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }

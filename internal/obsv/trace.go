@@ -117,4 +117,7 @@ var kindArgNames = [numKinds][3]string{
 	KindSchedCacheMiss:  {"fp_hi", "fp_lo", ""},
 	KindSchedCacheWait:  {"fp_hi", "fp_lo", ""},
 	KindSchedCacheEvict: {"fp_hi", "fp_lo", ""},
+	KindServeBatch:      {"requests", "unique", "trigger"},
+	KindServeRequest:    {"endpoint", "outcome", "batch"},
+	KindServeOverload:   {"inflight", "", ""},
 }

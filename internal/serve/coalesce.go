@@ -1,0 +1,483 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"barriermimd/internal/core"
+	"barriermimd/internal/dag"
+	"barriermimd/internal/machine"
+	"barriermimd/internal/obsv"
+	"barriermimd/internal/pool"
+)
+
+// groupKey is the coalescing identity: requests schedule together only
+// when every decision-relevant option matches, because one
+// core.ScheduleBatch call carries one Options value and the cached
+// batch path schedules every item with Options.Seed itself.
+type groupKey struct {
+	procs     int
+	machine   core.MachineKind
+	insertion core.Insertion
+	seed      int64
+}
+
+// request is one admitted request parked in (or flowing through) the
+// coalescer.
+type request struct {
+	endpoint endpoint
+	src      string
+	key      groupKey
+	policy   machine.Policy // simulate only
+	runs     int            // simulate only
+
+	ctx  context.Context
+	enq  time.Time
+	done chan response // buffered; the flush worker never blocks on it
+}
+
+// response is a fully rendered reply. Duplicate requests in one batch
+// share the same body slice; bodies are write-once.
+type response struct {
+	status int
+	body   []byte
+	batch  int // size of the batch that served this request
+}
+
+// Flush triggers, recorded in KindServeBatch.Arg2.
+const (
+	triggerWindow   = 0 // the bounded coalescing window expired
+	triggerFull     = 1 // the group reached MaxBatch
+	triggerAdaptive = 2 // a completing flush drained what queued behind it
+	triggerDirect   = 3 // coalescing disabled (Window < 0)
+)
+
+// coalescer groups compatible in-flight requests and flushes them as
+// single batches through the engine.
+type coalescer struct {
+	s *Server
+
+	// ewma tracks the typical batch size (scaled by ewmaScale) across
+	// recent flushes; the adaptive early flush refuses to fire below half
+	// of it, so one fast arrival cannot shatter a forming batch.
+	ewma atomic.Int64
+
+	mu     sync.Mutex
+	groups map[groupKey]*group
+}
+
+// ewmaScale is the fixed-point scale of coalescer.ewma.
+const ewmaScale = 16
+
+// observeFlush folds one flush's size into the typical-batch-size
+// estimate (alpha = 1/4).
+func (c *coalescer) observeFlush(size int) {
+	for {
+		old := c.ewma.Load()
+		next := old + (int64(size)*ewmaScale-old)/4
+		if c.ewma.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+type group struct {
+	reqs  []*request
+	timer *time.Timer
+}
+
+func newCoalescer(s *Server) *coalescer {
+	c := &coalescer{s: s, groups: make(map[groupKey]*group)}
+	c.ewma.Store(1 * ewmaScale)
+	return c
+}
+
+// submit runs rq through the coalescer and blocks until its response is
+// ready or its deadline passes; ok is false on deadline expiry. With
+// coalescing disabled the batch is just rq itself and executes on the
+// caller's goroutine — the batch-size-1 baseline adds no hops.
+func (c *coalescer) submit(rq *request) (response, bool) {
+	if c.s.cfg.Window < 0 {
+		// Even the direct path executes off the handler goroutine, so a
+		// request whose deadline expires mid-execution still gets its 504
+		// on time (the execution finishes in the background; done is
+		// buffered, so it never blocks).
+		go c.s.execBatch([]*request{rq}, triggerDirect)
+	} else {
+		c.enqueue(rq)
+	}
+	select {
+	case resp := <-rq.done:
+		return resp, true
+	case <-rq.ctx.Done():
+		return response{}, false
+	}
+}
+
+// enqueue parks rq in its group. The group flushes when it reaches
+// MaxBatch, when the bounded window expires, or — the adaptive trigger —
+// the moment an executing flush completes: run drains whatever queued
+// behind it, so under load the batch size tracks how many requests
+// arrive per batch execution and the window never idles the CPU, while
+// at low rates requests wait at most the window.
+func (c *coalescer) enqueue(rq *request) {
+	c.mu.Lock()
+	g := c.groups[rq.key]
+	if g == nil {
+		g = &group{}
+		c.groups[rq.key] = g
+	}
+	g.reqs = append(g.reqs, rq)
+	c.s.addQueued(1)
+	c.s.bump(func(cn *counters) *atomic64 { return &cn.coalesced })
+
+	if len(g.reqs) >= c.s.cfg.MaxBatch {
+		batch := c.take(g)
+		c.mu.Unlock()
+		// A fresh goroutine, not the submitter: run chains into follow-up
+		// batches that would otherwise hold this handler hostage after
+		// its own response is ready.
+		go c.run(rq.key, batch, triggerFull)
+		return
+	}
+	if c.s.c.queued.Load() >= c.s.c.inflight.Load() &&
+		int64(len(g.reqs))*ewmaScale >= c.ewma.Load() {
+		// Every admitted request is already parked, so nothing else can
+		// join this window soon and waiting it out would only add latency
+		// — but only flush once the group holds a typical batch, because
+		// on a serialized arrival wave each request parks before the next
+		// is admitted and the bare all-parked test would shatter the wave
+		// into single-request batches. The estimate converges upward
+		// (post-flush drains fold larger sizes in) until batches match
+		// the arrival cohort; when load drops below it, the window fires
+		// instead and the estimate decays back down.
+		batch := c.take(g)
+		c.mu.Unlock()
+		go c.run(rq.key, batch, triggerAdaptive)
+		return
+	}
+	if g.timer == nil {
+		key := rq.key
+		g.timer = time.AfterFunc(c.s.cfg.Window, func() { c.flushKey(key) })
+	}
+	c.mu.Unlock()
+}
+
+// run executes one batch, then keeps draining: anything that parked in
+// the group while the batch executed flushes immediately (no extra
+// window wait) until the group is empty.
+func (c *coalescer) run(key groupKey, batch []*request, trigger int) {
+	for {
+		c.s.execBatch(batch, trigger)
+		c.mu.Lock()
+		g := c.groups[key]
+		if g == nil || len(g.reqs) == 0 {
+			c.mu.Unlock()
+			return
+		}
+		batch = c.take(g)
+		c.mu.Unlock()
+		trigger = triggerAdaptive
+	}
+}
+
+// take removes and returns g's parked requests; the caller holds c.mu.
+func (c *coalescer) take(g *group) []*request {
+	batch := g.reqs
+	g.reqs = nil
+	if g.timer != nil {
+		g.timer.Stop()
+		g.timer = nil
+	}
+	c.s.addQueued(-int64(len(batch)))
+	return batch
+}
+
+// flushKey is the window-expiry path, run on the timer goroutine; it
+// enters the same drain loop as the other triggers.
+func (c *coalescer) flushKey(key groupKey) {
+	c.mu.Lock()
+	g := c.groups[key]
+	var batch []*request
+	if g != nil && len(g.reqs) > 0 {
+		batch = c.take(g)
+	} else if g != nil {
+		g.timer = nil
+	}
+	c.mu.Unlock()
+	if len(batch) > 0 {
+		c.run(key, batch, triggerWindow)
+	}
+}
+
+// srcUnit is the per-unique-source state of one flush: each distinct
+// program text is compiled once, scheduled once (through the shared
+// cache), and serialized at most once.
+type srcUnit struct {
+	src    string
+	g      *dag.Graph
+	sched  *core.Schedule
+	err    error // compile/build error -> 400
+	schErr error // scheduling error -> 500
+	bytes  []byte
+}
+
+// execBatch serves one batch end to end: dedupe sources, compile the
+// unique ones (fanned across the worker pool), schedule them in one
+// cached core.ScheduleBatch call, merge the simulation sweeps per
+// (source, policy) into lane-parallel RunMany calls, and fan the
+// responses back out.
+func (s *Server) execBatch(reqs []*request, trigger int) {
+	now := time.Now()
+	waits := make([]time.Duration, len(reqs))
+	for i, rq := range reqs {
+		waits[i] = now.Sub(rq.enq)
+	}
+	s.observeBatch(len(reqs), waits)
+	if trigger != triggerDirect {
+		s.co.observeFlush(len(reqs))
+	}
+
+	// Dedupe by source text. Requests whose bodies are byte-identical
+	// share every downstream stage.
+	srcIdx := make(map[string]int, len(reqs))
+	var units []*srcUnit
+	for _, rq := range reqs {
+		if _, ok := srcIdx[rq.src]; !ok {
+			srcIdx[rq.src] = len(units)
+			units = append(units, &srcUnit{src: rq.src})
+		}
+	}
+	s.trace(obsv.Event{Kind: obsv.KindServeBatch,
+		Arg0: int64(len(reqs)), Arg1: int64(len(units)), Arg2: int64(trigger)})
+
+	// Compile each unique source once.
+	pool.ForEach(s.cfg.Workers, len(units), func(i int) error {
+		units[i].g, units[i].err = CompileDAG(units[i].src)
+		return nil
+	})
+
+	// One ScheduleBatch call for every compilable graph in the batch:
+	// the cached path fingerprints in parallel, schedules each distinct
+	// DAG once, and serves duplicates as hits.
+	opts := s.optsFor(reqs[0].key)
+	var gs []*dag.Graph
+	var gi []int
+	for i, u := range units {
+		if u.err == nil {
+			gs = append(gs, u.g)
+			gi = append(gi, i)
+		}
+	}
+	if len(gs) > 0 {
+		scheds, err := core.ScheduleBatch(gs, opts)
+		if err != nil {
+			// A batch-level error names one poisoned item; retry the
+			// items individually so one bad graph cannot fail its
+			// batchmates.
+			for k, g := range gs {
+				sc, serr := s.cache.Schedule(g, opts)
+				if serr != nil {
+					units[gi[k]].schErr = serr
+				} else {
+					units[gi[k]].sched = sc
+				}
+			}
+		} else {
+			for k := range gs {
+				units[gi[k]].sched = scheds[k]
+			}
+		}
+	}
+
+	// Render the schedule-endpoint body (bmsched -json byte-identical)
+	// once per unit that needs it.
+	for _, rq := range reqs {
+		if rq.endpoint != epSchedule {
+			continue
+		}
+		u := units[srcIdx[rq.src]]
+		if u.bytes == nil && u.sched != nil {
+			raw, jerr := u.sched.ExportJSON()
+			if jerr != nil {
+				u.schErr = jerr
+			} else {
+				u.bytes = append(raw, '\n')
+			}
+		}
+	}
+
+	simBodies := s.execSims(reqs, units, srcIdx, opts)
+
+	// Fan responses out, counting every request served from a body that
+	// another request in the batch already rendered. done is buffered, so
+	// an expired request that already gave up never blocks the flush.
+	seen := make(map[simKey]bool, len(reqs))
+	shared := 0
+	for _, rq := range reqs {
+		u := units[srcIdx[rq.src]]
+		var resp response
+		switch {
+		case u.err != nil:
+			resp = errResponse(http.StatusBadRequest, u.err)
+		case u.schErr != nil:
+			resp = errResponse(http.StatusInternalServerError, u.schErr)
+		case rq.endpoint == epSchedule:
+			resp = response{status: http.StatusOK, body: u.bytes}
+		default:
+			resp = simBodies[simKey{srcIdx[rq.src], rq.policy, rq.runs}]
+		}
+		// Schedule responses dedupe per source; simulate responses per
+		// (source, policy, runs) workload. runs is zero on the schedule
+		// endpoint, so the two key spaces cannot collide.
+		k := simKey{srcIdx[rq.src], rq.policy, rq.runs}
+		if seen[k] {
+			shared++
+		} else {
+			seen[k] = true
+		}
+		resp.batch = len(reqs)
+		rq.done <- resp
+	}
+	if shared > 0 {
+		s.c.shared.Add(uint64(shared))
+		global.shared.Add(uint64(shared))
+	}
+}
+
+func errResponse(status int, err error) response {
+	b, _ := json.Marshal(errorBody{Error: err.Error()})
+	return response{status: status, body: append(b, '\n')}
+}
+
+// simKey identifies one distinct simulate workload within a batch: a
+// source, a timing policy, and a sweep width (the base seed is fixed by
+// the group). Requests with equal keys share one rendered response.
+type simKey struct {
+	srcI   int
+	policy machine.Policy
+	runs   int
+}
+
+// mergeKey groups simKeys that can share one RunMany call: same plan,
+// same timing policy (the seed list is per-lane).
+type mergeKey struct {
+	srcI   int
+	policy machine.Policy
+}
+
+// execSims merges every simulate request in the batch into as few
+// lane-parallel RunMany calls as possible — one per (source, policy) —
+// and renders one response per distinct (source, policy, runs)
+// workload. Lane i of a RunMany batch is field-identical to
+// Plan.Run(seeds[i]), so merged sweeps return exactly what per-request
+// sweeps would.
+func (s *Server) execSims(reqs []*request, units []*srcUnit, srcIdx map[string]int,
+	opts core.Options) map[simKey]response {
+
+	type simSlice struct {
+		key simKey
+		off int // offset of this workload's lanes in the merged seed list
+	}
+	type merge struct {
+		seeds  []int64
+		slices []simSlice
+	}
+	merges := make(map[mergeKey]*merge)
+	var order []mergeKey // deterministic execution order
+	out := make(map[simKey]response)
+
+	for _, rq := range reqs {
+		if rq.endpoint != epSimulate {
+			continue
+		}
+		i := srcIdx[rq.src]
+		u := units[i]
+		if u.err != nil || u.schErr != nil || u.sched == nil {
+			continue
+		}
+		sk := simKey{i, rq.policy, rq.runs}
+		if _, ok := out[sk]; ok {
+			continue // a batchmate already claimed this workload
+		}
+		out[sk] = response{} // reserve
+		mk := mergeKey{i, rq.policy}
+		m := merges[mk]
+		if m == nil {
+			m = &merge{}
+			merges[mk] = m
+			order = append(order, mk)
+		}
+		m.slices = append(m.slices, simSlice{key: sk, off: len(m.seeds)})
+		for r := 0; r < rq.runs; r++ {
+			m.seeds = append(m.seeds, rq.key.seed+int64(r))
+		}
+	}
+
+	for _, mk := range order {
+		m := merges[mk]
+		u := units[mk.srcI]
+		_, plan, err := s.cache.SchedulePlan(u.g, opts)
+		if err == nil && len(m.seeds) > 0 {
+			var br *machine.BatchResult
+			br, err = plan.RunMany(machine.Config{Policy: mk.policy}, m.seeds)
+			if err == nil {
+				s.c.simSeeds.Add(uint64(len(m.seeds)))
+				global.simSeeds.Add(uint64(len(m.seeds)))
+				s.c.simRuns.Add(1)
+				global.simRuns.Add(1)
+				for _, sl := range m.slices {
+					out[sl.key] = renderSim(br.FinishTimes[sl.off : sl.off+sl.key.runs])
+				}
+				br.Release()
+				continue
+			}
+		}
+		for _, sl := range m.slices {
+			if err != nil {
+				out[sl.key] = errResponse(http.StatusInternalServerError, err)
+			} else {
+				out[sl.key] = renderSim(nil)
+			}
+		}
+	}
+	return out
+}
+
+// renderSim builds one /v1/simulate response body from a workload's
+// finish times.
+func renderSim(finishes []int) response {
+	res := SimResult{FinishTimes: append([]int{}, finishes...)}
+	if len(finishes) > 0 {
+		res.Min, res.Max = finishes[0], finishes[0]
+		sum := 0
+		for _, f := range finishes {
+			if f < res.Min {
+				res.Min = f
+			}
+			if f > res.Max {
+				res.Max = f
+			}
+			sum += f
+		}
+		res.Mean = float64(sum) / float64(len(finishes))
+		var sq float64
+		for _, f := range finishes {
+			d := float64(f) - res.Mean
+			sq += d * d
+		}
+		if len(finishes) > 1 {
+			res.Stddev = math.Sqrt(sq / float64(len(finishes)))
+		}
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		return errResponse(http.StatusInternalServerError, err)
+	}
+	return response{status: http.StatusOK, body: append(b, '\n')}
+}

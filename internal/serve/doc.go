@@ -1,0 +1,45 @@
+// Package serve is the network front-end of the scheduling stack: an
+// HTTP/JSON daemon that turns concurrent independent schedule and
+// simulate requests into batched work over the same engine the CLI
+// tools use.
+//
+// The hot path is an adaptive micro-batching coalescer. An admitted
+// request joins a group keyed by its decision-relevant options (procs,
+// machine, insertion, seed); the group flushes as one batch when the
+// first of three triggers fires:
+//
+//   - the bounded coalescing window expires (Config.Window),
+//   - the group reaches Config.MaxBatch requests, or
+//   - an executing flush completes (adaptive drain: whatever parked
+//     during the execution flushes immediately, so under load the batch
+//     size tracks the arrival rate per batch execution and the window
+//     never idles the CPU; the window only bounds the wait at low
+//     rates).
+//
+// A flush dedupes byte-identical request sources, compiles each unique
+// source once, schedules the unique DAGs in a single core.ScheduleBatch
+// call through the shared content-addressed schedule cache
+// (fingerprint-level dedupe and cross-request memoization), merges the
+// simulation sweeps of every request that shares a plan and timing
+// policy into one lane-parallel Plan.RunMany call, and fans the
+// per-request responses back out — duplicate requests share one
+// response byte slice.
+//
+// Responses are byte-identical to the CLI tools for the same inputs:
+// /v1/schedule returns exactly what `bmsched -json` prints, and
+// /v1/simulate's finish times equal the per-run finish times `bmsim`
+// prints for the same seeds, because every coalescing layer preserves
+// the engine's determinism guarantees (cached schedules are
+// byte-identical to fresh ScheduleDAG runs; RunMany lane i is
+// field-identical to Plan.Run(seeds[i])).
+//
+// The server applies admission control (bounded in-flight requests with
+// 429 on overload, bounded body reads with 400/413, per-request
+// deadlines), drains gracefully on shutdown, and reports queue depth,
+// batch-size and coalesce-wait histograms, request latency, and
+// coalescing counters through internal/metrics (exposed by
+// internal/cli's Prometheus registry) plus internal/obsv trace events.
+// Command bmserve wires it to a listener; its -loadgen mode drives
+// closed-loop concurrent clients against the server and reports
+// RPS and latency percentiles (see `make bench-serve`).
+package serve

@@ -1,0 +1,358 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"barriermimd/internal/obsv"
+	"barriermimd/internal/synth"
+)
+
+// LoadConfig parameterizes one closed-loop load measurement: Concurrency
+// clients send Requests requests back to back, cycling through Programs
+// distinct synthetic programs — a duplicate-heavy workload when
+// Concurrency exceeds Programs, which is exactly the regime request
+// coalescing targets.
+type LoadConfig struct {
+	// BaseURL targets a running server ("http://host:port"); empty
+	// spawns an in-process server configured by Server on a loopback
+	// port for the duration of the run.
+	BaseURL string
+	// Endpoint is "schedule" or "simulate".
+	Endpoint string
+	// Concurrency is the closed-loop client count (default 32).
+	Concurrency int
+	// Requests is the total request count across all clients
+	// (default 2048).
+	Requests int
+	// Programs is the number of distinct synthetic programs the clients
+	// cycle through (default 4: with the default 32 clients every
+	// program is in flight ~8x over, the duplicate-heavy regime).
+	Programs int
+	// Stmts and Vars size the synthetic programs (defaults 60 and 10).
+	Stmts, Vars int
+	// Procs is the scheduled machine size (default 8).
+	Procs int
+	// Runs is the per-request simulation sweep width for the simulate
+	// endpoint (default 8).
+	Runs int
+	// Seed generates the programs and seeds the scheduler.
+	Seed int64
+	// Server configures the in-process server when BaseURL is empty.
+	Server Config
+}
+
+func (cfg LoadConfig) withDefaults() LoadConfig {
+	if cfg.Endpoint == "" {
+		cfg.Endpoint = "simulate"
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 32
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 2048
+	}
+	if cfg.Programs <= 0 {
+		cfg.Programs = 4
+	}
+	if cfg.Stmts <= 0 {
+		cfg.Stmts = 60
+	}
+	if cfg.Vars <= 0 {
+		cfg.Vars = 10
+	}
+	if cfg.Procs <= 0 {
+		cfg.Procs = 8
+	}
+	if cfg.Runs <= 0 {
+		cfg.Runs = 8
+	}
+	return cfg
+}
+
+// LoadResult is one measurement: closed-loop throughput and the exact
+// (sample-sorted, not histogram-bucketed) latency percentiles.
+type LoadResult struct {
+	Requests  int     `json:"requests"`
+	Errors    int     `json:"errors"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	RPS       float64 `json:"rps"`
+	MeanMS    float64 `json:"mean_ms"`
+	P50MS     float64 `json:"p50_ms"`
+	P95MS     float64 `json:"p95_ms"`
+	P99MS     float64 `json:"p99_ms"`
+	// BatchMean is the mean coalesced batch size and SharedResponses the
+	// duplicate-served request count, read from the in-process server's
+	// counters (zero when driving a remote BaseURL).
+	BatchMean       float64 `json:"batch_mean"`
+	SharedResponses uint64  `json:"shared_responses"`
+}
+
+// RunLoad executes one closed-loop measurement.
+func RunLoad(cfg LoadConfig) (LoadResult, error) {
+	cfg = cfg.withDefaults()
+
+	var inproc *Server
+	base := cfg.BaseURL
+	if base == "" {
+		inproc = New(cfg.Server)
+		srv, err := obsv.ServeHandler("127.0.0.1:0", inproc.Handler())
+		if err != nil {
+			return LoadResult{}, err
+		}
+		defer srv.Close()
+		base = "http://" + srv.Addr()
+	}
+	url := base + "/v1/" + cfg.Endpoint
+
+	bodies, err := workloadBodies(cfg)
+	if err != nil {
+		return LoadResult{}, err
+	}
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        cfg.Concurrency * 2,
+		MaxIdleConnsPerHost: cfg.Concurrency * 2,
+	}}
+	defer client.CloseIdleConnections()
+
+	// Warm the schedule cache and compiled plans with one sequential
+	// request per program, so the measurement compares steady-state
+	// serving rather than first-touch scheduling.
+	for _, b := range bodies {
+		if _, err := post(client, url, b); err != nil {
+			return LoadResult{}, fmt.Errorf("warmup: %w", err)
+		}
+	}
+	var beforeSum int64
+	var beforeCount, beforeShared uint64
+	if inproc != nil {
+		st := inproc.Stats()
+		beforeSum, beforeCount, beforeShared = st.BatchSize.Sum, st.BatchSize.Count, st.SharedResponses
+	}
+
+	var next atomic.Int64
+	latencies := make([][]time.Duration, cfg.Concurrency)
+	errs := make([]int, cfg.Concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lat := make([]time.Duration, 0, cfg.Requests/cfg.Concurrency+1)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= cfg.Requests {
+					break
+				}
+				t0 := time.Now()
+				status, err := post(client, url, bodies[i%len(bodies)])
+				if err != nil || status != http.StatusOK {
+					errs[w]++
+					continue
+				}
+				lat = append(lat, time.Since(t0))
+			}
+			latencies[w] = lat
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	nerr := 0
+	for w := range latencies {
+		all = append(all, latencies[w]...)
+		nerr += errs[w]
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+
+	res := LoadResult{
+		Requests:  cfg.Requests,
+		Errors:    nerr,
+		ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+		RPS:       float64(cfg.Requests-nerr) / elapsed.Seconds(),
+		MeanMS:    meanMS(all),
+		P50MS:     pctMS(all, 0.50),
+		P95MS:     pctMS(all, 0.95),
+		P99MS:     pctMS(all, 0.99),
+	}
+	if inproc != nil {
+		// BatchSize observations store the size itself in the duration
+		// slot, so the Sum delta over the Count delta is the mean batch
+		// size of this measurement window.
+		st := inproc.Stats()
+		if n := st.BatchSize.Count - beforeCount; n > 0 {
+			res.BatchMean = float64(st.BatchSize.Sum-beforeSum) / float64(n)
+		}
+		res.SharedResponses = st.SharedResponses - beforeShared
+	}
+	return res, nil
+}
+
+// workloadBodies renders the request JSON for each distinct program.
+func workloadBodies(cfg LoadConfig) ([][]byte, error) {
+	bodies := make([][]byte, cfg.Programs)
+	for i := range bodies {
+		prog, err := synth.Generate(synth.Config{Statements: cfg.Stmts, Variables: cfg.Vars}, cfg.Seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		req := Request{Src: prog.String(), Procs: cfg.Procs, Seed: cfg.Seed}
+		if cfg.Endpoint == "simulate" {
+			req.Runs = cfg.Runs
+		}
+		b, err := json.Marshal(req)
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = b
+	}
+	return bodies, nil
+}
+
+func post(client *http.Client, url string, body []byte) (int, error) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+func meanMS(ds []time.Duration) float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	return float64(sum) / float64(len(ds)) / float64(time.Millisecond)
+}
+
+func pctMS(ds []time.Duration, q float64) float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(ds)))
+	if i >= len(ds) {
+		i = len(ds) - 1
+	}
+	return float64(ds[i]) / float64(time.Millisecond)
+}
+
+// BenchVariant aggregates one serving mode's repetitions: medians of
+// the per-rep throughput and latency percentiles.
+type BenchVariant struct {
+	RPSMedian float64   `json:"rps_median"`
+	RPSRuns   []float64 `json:"rps_runs"`
+	P50MS     float64   `json:"p50_ms"`
+	P95MS     float64   `json:"p95_ms"`
+	P99MS     float64   `json:"p99_ms"`
+	BatchMean float64   `json:"batch_mean"`
+}
+
+// BenchResult is the BENCH_serve.json shape: adaptive coalescing vs
+// batch-size-1 serving on the same workload, medians of Reps
+// repetitions.
+type BenchResult struct {
+	Workload  LoadConfig   `json:"-"`
+	Desc      string       `json:"workload"`
+	Reps      int          `json:"reps"`
+	Batch1    BenchVariant `json:"batch1"`
+	Coalesced BenchVariant `json:"coalesced"`
+	Speedup   float64      `json:"speedup"`
+}
+
+// RunBench measures both serving modes rep times each (interleaved, so
+// environmental drift hits both alike) and reports medians. The batch1
+// variant disables coalescing (Window < 0, MaxBatch 1); the coalesced
+// variant uses the provided window and batch bound.
+func RunBench(load LoadConfig, reps int, window time.Duration, maxBatch int, progress io.Writer) (BenchResult, error) {
+	load = load.withDefaults()
+	if reps <= 0 {
+		reps = 5
+	}
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	if maxBatch <= 0 {
+		maxBatch = DefaultMaxBatch
+	}
+
+	batch1 := load
+	batch1.Server.Window = -1
+	batch1.Server.MaxBatch = 1
+	coalesced := load
+	coalesced.Server.Window = window
+	coalesced.Server.MaxBatch = maxBatch
+
+	var b1, co []LoadResult
+	for r := 0; r < reps; r++ {
+		r1, err := RunLoad(batch1)
+		if err != nil {
+			return BenchResult{}, err
+		}
+		b1 = append(b1, r1)
+		r2, err := RunLoad(coalesced)
+		if err != nil {
+			return BenchResult{}, err
+		}
+		co = append(co, r2)
+		if progress != nil {
+			fmt.Fprintf(progress, "rep %d/%d: batch1 %.0f rps (p99 %.2fms)  coalesced %.0f rps (p99 %.2fms, mean batch %.1f)\n",
+				r+1, reps, r1.RPS, r1.P99MS, r2.RPS, r2.P99MS, r2.BatchMean)
+		}
+	}
+
+	res := BenchResult{
+		Workload: load,
+		Desc: fmt.Sprintf("%s, c=%d, %d reqs, %d distinct programs (%d stmts, %d vars), procs=%d, runs=%d",
+			load.Endpoint, load.Concurrency, load.Requests, load.Programs, load.Stmts, load.Vars, load.Procs, load.Runs),
+		Reps:      reps,
+		Batch1:    summarize(b1),
+		Coalesced: summarize(co),
+	}
+	if res.Batch1.RPSMedian > 0 {
+		res.Speedup = res.Coalesced.RPSMedian / res.Batch1.RPSMedian
+	}
+	return res, nil
+}
+
+func summarize(rs []LoadResult) BenchVariant {
+	v := BenchVariant{}
+	var rps, p50, p95, p99, bm []float64
+	for _, r := range rs {
+		rps = append(rps, r.RPS)
+		p50 = append(p50, r.P50MS)
+		p95 = append(p95, r.P95MS)
+		p99 = append(p99, r.P99MS)
+		bm = append(bm, r.BatchMean)
+	}
+	v.RPSRuns = append([]float64{}, rps...)
+	v.RPSMedian = medianOf(rps)
+	v.P50MS = medianOf(p50)
+	v.P95MS = medianOf(p95)
+	v.P99MS = medianOf(p99)
+	v.BatchMean = medianOf(bm)
+	return v
+}
+
+func medianOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64{}, xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}

@@ -1,0 +1,444 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"barriermimd/internal/cli"
+	"barriermimd/internal/obsv"
+	"barriermimd/internal/serve"
+	"barriermimd/internal/synth"
+)
+
+// testPrograms generates n deterministic synthetic programs and writes
+// each to a file (for the CLI oracle), returning sources and paths.
+func testPrograms(t *testing.T, n, stmts int) (srcs []string, paths []string) {
+	t.Helper()
+	dir := t.TempDir()
+	for i := 0; i < n; i++ {
+		prog, err := synth.Generate(synth.Config{Statements: stmts, Variables: 6}, int64(100+i))
+		if err != nil {
+			t.Fatalf("synth: %v", err)
+		}
+		src := prog.String()
+		path := filepath.Join(dir, fmt.Sprintf("p%d.bb", i))
+		if err := os.WriteFile(path, []byte(src), 0o600); err != nil {
+			t.Fatal(err)
+		}
+		srcs = append(srcs, src)
+		paths = append(paths, path)
+	}
+	return srcs, paths
+}
+
+// schedOracle runs `bmsched -json` on path and returns its stdout bytes.
+func schedOracle(t *testing.T, path string, procs int, seed int64) []byte {
+	t.Helper()
+	var out, errb bytes.Buffer
+	args := []string{"-json", "-procs", strconv.Itoa(procs), "-seed", strconv.FormatInt(seed, 10), path}
+	if rc := cli.Sched(args, strings.NewReader(""), &out, &errb); rc != 0 {
+		t.Fatalf("bmsched rc=%d: %s", rc, errb.String())
+	}
+	return out.Bytes()
+}
+
+// simOracle runs bmsim on path and parses the per-run finish column.
+func simOracle(t *testing.T, path string, procs, runs int, seed int64) []int {
+	t.Helper()
+	var out, errb bytes.Buffer
+	args := []string{
+		"-procs", strconv.Itoa(procs), "-seed", strconv.FormatInt(seed, 10),
+		"-runs", strconv.Itoa(runs), path,
+	}
+	if rc := cli.Sim(args, strings.NewReader(""), &out, &errb); rc != 0 {
+		t.Fatalf("bmsim rc=%d: %s", rc, errb.String())
+	}
+	var finishes []int
+	for _, line := range strings.Split(out.String(), "\n") {
+		f := strings.Fields(line)
+		if len(f) != 3 || f[2] != "ok" {
+			continue
+		}
+		if _, err := strconv.Atoi(f[0]); err != nil {
+			continue
+		}
+		fin, err := strconv.Atoi(f[1])
+		if err != nil {
+			t.Fatalf("bmsim table: %q", line)
+		}
+		finishes = append(finishes, fin)
+	}
+	if len(finishes) != runs {
+		t.Fatalf("parsed %d finishes from bmsim, want %d:\n%s", len(finishes), runs, out.String())
+	}
+	return finishes
+}
+
+func postJSON(t *testing.T, url string, req serve.Request) (int, []byte) {
+	t.Helper()
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body.Bytes()
+}
+
+// identityMatrix is the coalescing window x client concurrency grid the
+// oracle tests sweep: window 0 means coalescing off (batch-size-1), the
+// others exercise real coalesced batches.
+var identityMatrix = []struct {
+	name   string
+	window time.Duration
+	conc   int
+}{
+	{"window0/c1", -1, 1},
+	{"window0/c8", -1, 8},
+	{"window0/c32", -1, 32},
+	{"window5ms/c1", 5 * time.Millisecond, 1},
+	{"window5ms/c8", 5 * time.Millisecond, 8},
+	{"window5ms/c32", 5 * time.Millisecond, 32},
+}
+
+// TestScheduleIdentity pins the tentpole guarantee: /v1/schedule bodies
+// are byte-identical to `bmsched -json` for the same program and
+// options, no matter how requests are coalesced.
+func TestScheduleIdentity(t *testing.T) {
+	const procs, seed = 6, 3
+	srcs, paths := testPrograms(t, 4, 30)
+	want := make([][]byte, len(srcs))
+	for i, p := range paths {
+		want[i] = schedOracle(t, p, procs, seed)
+	}
+
+	for _, tc := range identityMatrix {
+		t.Run(tc.name, func(t *testing.T) {
+			s := serve.New(serve.Config{Window: tc.window})
+			ts := httptest.NewServer(s.Handler())
+			defer ts.Close()
+
+			const perWorker = 4
+			errs := make(chan error, tc.conc*perWorker)
+			var wg sync.WaitGroup
+			for w := 0; w < tc.conc; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for r := 0; r < perWorker; r++ {
+						i := (w + r) % len(srcs)
+						status, body := postJSON(t, ts.URL+"/v1/schedule",
+							serve.Request{Src: srcs[i], Procs: procs, Seed: seed})
+						if status != http.StatusOK {
+							errs <- fmt.Errorf("status %d: %s", status, body)
+							return
+						}
+						if !bytes.Equal(body, want[i]) {
+							errs <- fmt.Errorf("program %d: served schedule differs from bmsched -json", i)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestSimulateIdentity pins /v1/simulate's finish_times to bmsim's
+// per-run finish column for the same seeds, across the same coalescing
+// matrix, with two different base seeds in flight at once so distinct
+// groups cannot contaminate each other.
+func TestSimulateIdentity(t *testing.T) {
+	const procs, runs = 6, 5
+	seeds := []int64{5, 11}
+	srcs, paths := testPrograms(t, 3, 30)
+	want := make(map[string][]int) // "program/seed" -> finishes
+	for i, p := range paths {
+		for _, sd := range seeds {
+			want[fmt.Sprintf("%d/%d", i, sd)] = simOracle(t, p, procs, runs, sd)
+		}
+	}
+
+	for _, tc := range identityMatrix {
+		t.Run(tc.name, func(t *testing.T) {
+			s := serve.New(serve.Config{Window: tc.window})
+			ts := httptest.NewServer(s.Handler())
+			defer ts.Close()
+
+			const perWorker = 4
+			errs := make(chan error, tc.conc*perWorker)
+			var wg sync.WaitGroup
+			for w := 0; w < tc.conc; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for r := 0; r < perWorker; r++ {
+						i := (w + r) % len(srcs)
+						sd := seeds[(w+r)%len(seeds)]
+						status, body := postJSON(t, ts.URL+"/v1/simulate",
+							serve.Request{Src: srcs[i], Procs: procs, Seed: sd, Runs: runs})
+						if status != http.StatusOK {
+							errs <- fmt.Errorf("status %d: %s", status, body)
+							return
+						}
+						var res serve.SimResult
+						if err := json.Unmarshal(body, &res); err != nil {
+							errs <- err
+							return
+						}
+						w := want[fmt.Sprintf("%d/%d", i, sd)]
+						if len(res.FinishTimes) != len(w) {
+							errs <- fmt.Errorf("program %d seed %d: %d finishes, want %d", i, sd, len(res.FinishTimes), len(w))
+							return
+						}
+						for r, fin := range res.FinishTimes {
+							if fin != w[r] {
+								errs <- fmt.Errorf("program %d seed %d run %d: finish %d, bmsim says %d", i, sd, r, fin, w[r])
+								return
+							}
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestRejections covers the admission-control surface: wrong method,
+// malformed and invalid bodies, and the body-size bound.
+func TestRejections(t *testing.T) {
+	s := serve.New(serve.Config{Window: -1, MaxBody: 256})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/schedule")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET: status %d, want 405", resp.StatusCode)
+	}
+
+	post := func(body string) int {
+		resp, err := http.Post(ts.URL+"/v1/schedule", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var e struct {
+			Error string `json:"error"`
+		}
+		if jerr := json.NewDecoder(resp.Body).Decode(&e); jerr != nil || e.Error == "" {
+			t.Errorf("body %q: error responses must carry a JSON error field (%v)", body, jerr)
+		}
+		return resp.StatusCode
+	}
+	if got := post("{not json"); got != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d, want 400", got)
+	}
+	if got := post(`{"src":"   "}`); got != http.StatusBadRequest {
+		t.Errorf("empty src: status %d, want 400", got)
+	}
+	if got := post(`{"src":"v0 = v0 + 1;","machine":"vliw"}`); got != http.StatusBadRequest {
+		t.Errorf("bad machine: status %d, want 400", got)
+	}
+	if got := post(`{"src":"this is not the benchmark language"}`); got != http.StatusBadRequest {
+		t.Errorf("parse error: status %d, want 400", got)
+	}
+	if got := post(`{"src":"` + strings.Repeat("v0 = v0 + 1; ", 200) + `"}`); got != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: status %d, want 413", got)
+	}
+}
+
+// TestOverloadAndDeadline drives a deliberately slow request (a large
+// uncached program) to hold the server's one admission slot, checks the
+// concurrent request is shed with 429, and then checks a request whose
+// deadline cannot be met returns 504.
+func TestOverloadAndDeadline(t *testing.T) {
+	// ~2500 statements schedules in a couple of seconds on one core:
+	// slow enough to observe mid-flight, fast enough for a test.
+	big, err := synth.Generate(synth.Config{Statements: 2500, Variables: 12}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := serve.New(serve.Config{Window: -1, MaxInflight: 1, Timeout: time.Minute})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	done := make(chan int, 1)
+	go func() {
+		status, _ := postJSON(t, ts.URL+"/v1/schedule", serve.Request{Src: big.String()})
+		done <- status
+	}()
+	// Give the slow request time to be admitted, then trip admission.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if s.Stats().Inflight > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("slow request never became in-flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	status, body := postJSON(t, ts.URL+"/v1/schedule", serve.Request{Src: "v0 = v0 + 1;"})
+	if status != http.StatusTooManyRequests {
+		t.Errorf("overload: status %d (%s), want 429", status, body)
+	}
+	if st := <-done; st != http.StatusOK {
+		t.Errorf("slow request: status %d, want 200", st)
+	}
+
+	big2, err := synth.Generate(synth.Config{Statements: 2500, Variables: 12}, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, body = postJSON(t, ts.URL+"/v1/schedule", serve.Request{Src: big2.String(), DeadlineMS: 1})
+	if status != http.StatusGatewayTimeout {
+		t.Errorf("deadline: status %d (%s), want 504", status, body)
+	}
+	if st := s.Stats(); st.TimedOut == 0 || st.Overloaded == 0 {
+		t.Errorf("stats: TimedOut=%d Overloaded=%d, want both > 0", st.TimedOut, st.Overloaded)
+	}
+}
+
+// TestGracefulDrain shuts the HTTP server down while coalesced requests
+// are still in flight and checks every one of them completes: parked
+// requests belong to blocked handlers, so net/http's Shutdown drains
+// the coalescer before the listener closes.
+func TestGracefulDrain(t *testing.T) {
+	srcs, _ := testPrograms(t, 2, 300)
+	api := serve.New(serve.Config{Window: 50 * time.Millisecond})
+	srv, err := obsv.ServeHandler("127.0.0.1:0", api.Handler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := "http://" + srv.Addr() + "/v1/simulate"
+
+	const n = 8
+	statuses := make(chan int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, _ := postJSON(t, url, serve.Request{Src: srcs[i%len(srcs)], Runs: 4})
+			statuses <- status
+		}(i)
+	}
+	// Shut down while the burst is still being served.
+	deadline := time.Now().Add(2 * time.Second)
+	for api.Stats().Inflight == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	wg.Wait()
+	close(statuses)
+	for st := range statuses {
+		if st != http.StatusOK {
+			t.Errorf("in-flight request finished with %d during drain, want 200", st)
+		}
+	}
+}
+
+// TestStatsAndHealth checks the sidecar endpoints and that coalescing
+// counters actually advance when duplicate requests fly concurrently.
+func TestStatsAndHealth(t *testing.T) {
+	srcs, _ := testPrograms(t, 1, 30)
+	s := serve.New(serve.Config{Window: 5 * time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if status, body := postJSON(t, ts.URL+"/v1/simulate", serve.Request{Src: srcs[0], Runs: 3}); status != http.StatusOK {
+				t.Errorf("status %d: %s", status, body)
+			}
+		}()
+	}
+	wg.Wait()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz: %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st serve.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("stats decode: %v", err)
+	}
+	resp.Body.Close()
+	if st.Admitted != 16 || st.Ok != 16 {
+		t.Errorf("Admitted=%d Ok=%d, want 16/16", st.Admitted, st.Ok)
+	}
+	if st.Batches == 0 || st.Coalesced != 16 {
+		t.Errorf("Batches=%d Coalesced=%d, want >0 and 16", st.Batches, st.Coalesced)
+	}
+	if st.Inflight != 0 || st.Queued != 0 {
+		t.Errorf("Inflight=%d Queued=%d after quiesce, want 0/0", st.Inflight, st.Queued)
+	}
+	if g := serve.GlobalStats(); g.Admitted < st.Admitted {
+		t.Errorf("global Admitted=%d < server's %d", g.Admitted, st.Admitted)
+	}
+}
+
+// TestLoadgenSmoke exercises the in-process load generator end to end
+// on a small workload.
+func TestLoadgenSmoke(t *testing.T) {
+	res, err := serve.RunLoad(serve.LoadConfig{
+		Concurrency: 4, Requests: 32, Programs: 2, Stmts: 20, Runs: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Errorf("loadgen saw %d errors", res.Errors)
+	}
+	if res.RPS <= 0 || res.P99MS <= 0 {
+		t.Errorf("degenerate measurement: %+v", res)
+	}
+}
